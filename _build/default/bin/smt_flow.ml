@@ -1,0 +1,208 @@
+(* Command-line driver for the Selective-MT design flows.
+
+   Examples:
+     smt_flow run -c circuit_a -t improved
+     smt_flow run -c circuit_b -t dual --bounce-limit 0.08
+     smt_flow table1
+     smt_flow list
+     smt_flow stages -c circuit_a *)
+
+module Flow = Smt_core.Flow
+module Cluster = Smt_core.Cluster
+module Suite = Smt_circuits.Suite
+module Library = Smt_cell.Library
+module Tech = Smt_cell.Tech
+
+open Cmdliner
+
+let lib () = Library.default ()
+
+let generator_of name =
+  match List.assoc_opt name Suite.all with
+  | Some g -> Ok g
+  | None ->
+    Error
+      (Printf.sprintf "unknown circuit %s (try: %s)" name
+         (String.concat ", " (List.map fst Suite.all)))
+
+let technique_of = function
+  | "dual" | "dual-vth" -> Ok Flow.Dual_vth
+  | "conventional" | "con" -> Ok Flow.Conventional_smt
+  | "improved" | "imp" -> Ok Flow.Improved_smt
+  | s -> Error (Printf.sprintf "unknown technique %s (dual|conventional|improved)" s)
+
+let circuit_arg =
+  Arg.(value & opt string "circuit_a" & info [ "c"; "circuit" ] ~doc:"Circuit name.")
+
+let technique_arg =
+  Arg.(value & opt string "improved" & info [ "t"; "technique" ] ~doc:"dual|conventional|improved.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let bounce_arg =
+  Arg.(value & opt (some float) None & info [ "bounce-limit" ] ~doc:"VGND bounce limit (V).")
+
+let length_arg =
+  Arg.(value & opt (some float) None & info [ "vgnd-length" ] ~doc:"VGND length cap (um).")
+
+let cells_arg =
+  Arg.(value & opt (some int) None & info [ "cells-per-switch" ] ~doc:"EM cap on cells per switch.")
+
+let retention_arg =
+  Arg.(value & flag & info [ "retention" ] ~doc:"Convert slack-rich flip-flops to retention flip-flops.")
+
+let sizing_arg =
+  Arg.(value & flag & info [ "gate-sizing" ] ~doc:"Downsize off-critical cells after the Vth assignment.")
+
+let options_of ?(retention = false) ?(sizing = false) seed bounce length cells =
+  let tech = Tech.default in
+  let p = Cluster.default_params tech in
+  let p =
+    {
+      p with
+      Cluster.bounce_limit = Option.value bounce ~default:p.Cluster.bounce_limit;
+      Cluster.length_limit = Option.value length ~default:p.Cluster.length_limit;
+      Cluster.cell_limit = Option.value cells ~default:p.Cluster.cell_limit;
+    }
+  in
+  {
+    Flow.default_options with
+    Flow.seed;
+    Flow.cluster_params = Some p;
+    Flow.retention_registers = retention;
+    Flow.gate_sizing = sizing;
+  }
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit" ] ~doc:"Write the transformed netlist to this file.")
+
+let run_cmd =
+  let run circuit technique seed bounce length cells retention sizing emit =
+    match (generator_of circuit, technique_of technique) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen, Ok t ->
+      let options = options_of ~retention ~sizing seed bounce length cells in
+      let nl = gen (lib ()) in
+      let report = Flow.run ~options t nl in
+      Format.printf "%a@." Flow.pp_report report;
+      (match emit with
+      | Some path ->
+        Smt_netlist.Writer.to_file nl path;
+        Printf.printf "netlist written to %s\n" path
+      | None -> ())
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one flow on one circuit")
+    Term.(
+      const run $ circuit_arg $ technique_arg $ seed_arg $ bounce_arg $ length_arg $ cells_arg
+      $ retention_arg $ sizing_arg $ emit_arg)
+
+let corners_cmd =
+  let run circuit technique seed =
+    match (generator_of circuit, technique_of technique) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen, Ok t ->
+      let options = { Flow.default_options with Flow.seed } in
+      let nl = gen (lib ()) in
+      let report = Flow.run ~options t nl in
+      Printf.printf "multi-corner sign-off of %s (%s), clock %.1f ps:\n\n"
+        report.Flow.circuit
+        (Flow.technique_name report.Flow.technique)
+        report.Flow.clock_period;
+      let cfg =
+        Smt_sta.Sta.config ~clock_period:report.Flow.clock_period ()
+      in
+      print_endline (Smt_core.Signoff.render (Smt_core.Signoff.run cfg nl))
+  in
+  Cmd.v (Cmd.info "corners" ~doc:"Multi-corner timing & leakage sign-off")
+    Term.(const run $ circuit_arg $ technique_arg $ seed_arg)
+
+let stages_cmd =
+  let run circuit seed bounce length cells =
+    match generator_of circuit with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen ->
+      let options = options_of seed bounce length cells in
+      let report = Flow.run ~options Flow.Improved_smt (gen (lib ())) in
+      Printf.printf "Improved Selective-MT flow on %s (clock %.1f ps)\n\n"
+        report.Flow.circuit report.Flow.clock_period;
+      let header =
+        [ "Stage"; "Area um^2"; "Standby nW"; "WNS ps"; "Bounce V"; "Switches"; "Holders" ]
+      in
+      let rows =
+        List.map
+          (fun (s : Flow.stage) ->
+            [
+              s.Flow.stage_name;
+              Printf.sprintf "%.1f" s.Flow.stage_area;
+              Printf.sprintf "%.1f" s.Flow.stage_standby_nw;
+              Printf.sprintf "%.1f" s.Flow.stage_wns;
+              Printf.sprintf "%.4f" s.Flow.stage_worst_bounce;
+              string_of_int s.Flow.stage_switches;
+              string_of_int s.Flow.stage_holders;
+            ])
+          report.Flow.stages
+      in
+      print_endline (Smt_util.Text_table.render ~header rows)
+  in
+  Cmd.v (Cmd.info "stages" ~doc:"Show per-stage metrics of the improved flow (the paper's Fig. 4)")
+    Term.(const run $ circuit_arg $ seed_arg $ bounce_arg $ length_arg $ cells_arg)
+
+let table1_cmd =
+  let run seed =
+    let l = lib () in
+    let options = { Flow.default_options with Flow.seed } in
+    let rows =
+      [
+        Smt_core.Compare.table1_row ~options (fun () -> Suite.circuit_a l);
+        Smt_core.Compare.table1_row ~options (fun () -> Suite.circuit_b l);
+      ]
+    in
+    print_endline (Smt_core.Compare.render rows)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1")
+    Term.(const run $ seed_arg)
+
+let report_cmd =
+  let run circuit technique seed =
+    match (generator_of circuit, technique_of technique) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen, Ok t ->
+      let options = { Flow.default_options with Flow.seed } in
+      let nl = gen (lib ()) in
+      let r = Flow.run ~options t nl in
+      let cfg = Smt_sta.Sta.config ~clock_period:r.Flow.clock_period () in
+      let sta = Smt_sta.Sta.analyze cfg nl in
+      print_endline (Smt_core.Report.summary sta);
+      print_newline ();
+      print_endline (Smt_core.Report.timing ~paths:2 sta);
+      print_endline (Smt_core.Report.power nl);
+      print_newline ();
+      print_endline (Smt_core.Report.area nl)
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Sign-off style timing / power / area reports")
+    Term.(const run $ circuit_arg $ technique_arg $ seed_arg)
+
+let list_cmd =
+  let run () =
+    List.iter (fun (name, _) -> print_endline name) Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available circuits") Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "smt_flow" ~version:"1.0.0"
+       ~doc:"Selective multi-threshold CMOS design flows (DATE 2005 reproduction)")
+    [ run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

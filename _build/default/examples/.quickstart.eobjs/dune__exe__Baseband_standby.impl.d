@@ -1,0 +1,1 @@
+examples/baseband_standby.ml: List Printf Smt_cell Smt_circuits Smt_core Smt_power Smt_util

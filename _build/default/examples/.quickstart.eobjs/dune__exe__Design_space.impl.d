@@ -1,0 +1,1 @@
+examples/design_space.ml: List Printf Smt_cell Smt_circuits Smt_core Smt_util

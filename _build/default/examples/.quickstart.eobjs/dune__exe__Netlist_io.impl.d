@@ -1,0 +1,1 @@
+examples/netlist_io.ml: Format List Printf Smt_cell Smt_circuits Smt_core Smt_netlist Smt_place Smt_route Smt_sim String

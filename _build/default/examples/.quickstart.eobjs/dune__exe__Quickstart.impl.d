@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Smt_cell Smt_core Smt_netlist

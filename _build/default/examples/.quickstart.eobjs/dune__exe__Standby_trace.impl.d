@@ -1,0 +1,1 @@
+examples/standby_trace.ml: Filename List Printf Smt_cell Smt_circuits Smt_core Smt_netlist Smt_place Smt_sim Smt_sta Smt_util

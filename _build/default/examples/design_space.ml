@@ -1,0 +1,83 @@
+(* Design-space exploration with the designer-facing knobs the paper
+   names: the VGND bounce upper limit, the VGND line length cap
+   (crosstalk), and the electromigration cells-per-switch cap.
+
+   A designer would sweep these to pick the corner that meets timing with
+   the least area, exactly what this example does on circuit B.
+
+     dune exec examples/design_space.exe *)
+
+module Flow = Smt_core.Flow
+module Cluster = Smt_core.Cluster
+module Suite = Smt_circuits.Suite
+module Text_table = Smt_util.Text_table
+
+let () =
+  let lib = Smt_cell.Library.default () in
+  let tech = Smt_cell.Library.tech lib in
+  let params = Cluster.default_params tech in
+  let candidates =
+    (* (bounce limit V, VGND length cap um, cells per switch) *)
+    [
+      (0.05, 80.0, 12);
+      (0.08, 80.0, 16);
+      (0.08, 120.0, 24);
+      (0.10, 120.0, 24);
+      (0.10, 160.0, 32);
+      (0.12, 160.0, 32);
+    ]
+  in
+  Printf.printf "design-space exploration: improved Selective-MT on circuit B\n\n";
+  let evaluate (bounce, length, cells) =
+    let options =
+      {
+        Flow.default_options with
+        Flow.cluster_params =
+          Some
+            {
+              params with
+              Cluster.bounce_limit = bounce;
+              Cluster.length_limit = length;
+              Cluster.cell_limit = cells;
+            };
+      }
+    in
+    let r = Flow.run ~options Flow.Improved_smt (Suite.circuit_b lib) in
+    ((bounce, length, cells), r)
+  in
+  let results = List.map evaluate candidates in
+  let rows =
+    List.map
+      (fun ((bounce, length, cells), (r : Flow.report)) ->
+        [
+          Printf.sprintf "%.2f V / %.0f um / %d" bounce length cells;
+          Printf.sprintf "%.0f" r.Flow.area;
+          Printf.sprintf "%.0f" r.Flow.standby_nw;
+          string_of_int r.Flow.n_clusters;
+          Printf.sprintf "%.1f" r.Flow.wns;
+          (if r.Flow.timing_met && r.Flow.hold_met && r.Flow.bounce_violations = 0 then
+             "yes"
+           else "NO");
+        ])
+      results
+  in
+  print_endline
+    (Text_table.render
+       ~header:[ "bounce / length / cells"; "Area"; "Standby nW"; "Clusters"; "WNS ps"; "clean" ]
+       rows);
+  (* pick the cheapest clean corner *)
+  let clean =
+    List.filter
+      (fun (_, (r : Flow.report)) ->
+        r.Flow.timing_met && r.Flow.hold_met && r.Flow.bounce_violations = 0)
+      results
+  in
+  match
+    List.sort (fun (_, a) (_, b) -> compare a.Flow.area b.Flow.area) clean
+  with
+  | ((bounce, length, cells), best) :: _ ->
+    Printf.printf
+      "\nbest clean corner: bounce<=%.2fV, VGND<=%.0fum, <=%d cells/switch -> area %.0f um^2, \
+       standby %.0f nW\n"
+      bounce length cells best.Flow.area best.Flow.standby_nw
+  | [] -> print_endline "\nno clean corner found (tighten the sweep)"

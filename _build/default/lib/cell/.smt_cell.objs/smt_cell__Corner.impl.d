@@ -1,0 +1,1 @@
+lib/cell/corner.ml: Format Tech

@@ -1,0 +1,1 @@
+lib/cell/corner.mli: Format Tech

@@ -1,0 +1,1 @@
+lib/cell/func.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/cell/liberty.ml: Array Buffer Cell Fun Func Library List Printf String Vth

@@ -1,0 +1,1 @@
+lib/cell/library.ml: Cell Float Func Hashtbl List Printf String Tech Vth

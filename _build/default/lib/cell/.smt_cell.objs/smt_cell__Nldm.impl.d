@@ -1,0 +1,1 @@
+lib/cell/nldm.ml: Array Cell Float Hashtbl Printf

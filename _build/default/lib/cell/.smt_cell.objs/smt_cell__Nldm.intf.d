@@ -1,0 +1,1 @@
+lib/cell/nldm.mli: Cell

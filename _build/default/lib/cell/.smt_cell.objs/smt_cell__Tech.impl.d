@@ -1,0 +1,1 @@
+lib/cell/tech.ml: Float

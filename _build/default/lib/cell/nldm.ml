@@ -1,0 +1,85 @@
+type table = {
+  slews : float array;
+  loads : float array;
+  values : float array array;
+}
+
+let check_axis name axis =
+  if Array.length axis = 0 then invalid_arg (Printf.sprintf "Nldm: empty %s axis" name);
+  for i = 1 to Array.length axis - 1 do
+    if axis.(i) <= axis.(i - 1) then
+      invalid_arg (Printf.sprintf "Nldm: %s axis not strictly ascending" name)
+  done
+
+let make ~slews ~loads ~f =
+  check_axis "slew" slews;
+  check_axis "load" loads;
+  let values =
+    Array.map (fun s -> Array.map (fun l -> f ~slew:s ~load:l) loads) slews
+  in
+  { slews; loads; values }
+
+(* Index of the cell below x, clamped so that [i, i+1] is always valid;
+   returns the interpolation fraction too (clamped to [0,1]). *)
+let locate axis x =
+  let n = Array.length axis in
+  if n = 1 then (0, 0.0)
+  else begin
+    let rec search i = if i < n - 1 && axis.(i + 1) < x then search (i + 1) else i in
+    let i = min (search 0) (n - 2) in
+    let x0 = axis.(i) and x1 = axis.(i + 1) in
+    let frac = (x -. x0) /. (x1 -. x0) in
+    (i, Float.max 0.0 (Float.min 1.0 frac))
+  end
+
+let lookup t ~slew ~load =
+  let i, fs = locate t.slews slew in
+  let j, fl = locate t.loads load in
+  let at i j =
+    let i = min i (Array.length t.slews - 1) and j = min j (Array.length t.loads - 1) in
+    t.values.(i).(j)
+  in
+  let v00 = at i j and v01 = at i (j + 1) and v10 = at (i + 1) j and v11 = at (i + 1) (j + 1) in
+  let lo = v00 +. (fl *. (v01 -. v00)) in
+  let hi = v10 +. (fl *. (v11 -. v10)) in
+  lo +. (fs *. (hi -. lo))
+
+type arcs = {
+  delay : table;
+  out_slew : table;
+}
+
+let grid_slews = [| 5.0; 20.0; 50.0; 100.0; 200.0 |]
+let grid_loads = [| 1.0; 4.0; 10.0; 25.0; 60.0 |]
+
+let default_input_slew = 20.0
+
+(* Curvature on top of the linear model: a slow input edge adds delay
+   (roughly logarithmically saturating), and the output edge rate follows
+   the drive-resistance x load time constant plus a floor. *)
+let characterize (cell : Cell.t) =
+  let delay ~slew ~load =
+    Cell.delay cell ~load_ff:load
+    +. (0.12 *. cell.Cell.intrinsic_delay *. log (1.0 +. (slew /. 40.0)))
+  in
+  let out_slew ~slew ~load =
+    let driven = (0.9 *. cell.Cell.drive_res *. load) +. (0.4 *. cell.Cell.intrinsic_delay) in
+    (* a fraction of a very slow input edge leaks through *)
+    driven +. (0.1 *. slew)
+  in
+  {
+    delay = make ~slews:grid_slews ~loads:grid_loads ~f:delay;
+    out_slew = make ~slews:grid_slews ~loads:grid_loads ~f:out_slew;
+  }
+
+type store = (string, arcs) Hashtbl.t
+
+let store () : store = Hashtbl.create 97
+
+let arcs_of store cell =
+  match Hashtbl.find_opt store cell.Cell.name with
+  | Some arcs -> arcs
+  | None ->
+    let arcs = characterize cell in
+    Hashtbl.add store cell.Cell.name arcs;
+    arcs

@@ -1,0 +1,44 @@
+(** NLDM-style non-linear delay model.
+
+    Commercial libraries characterize each timing arc as a 2-D lookup table
+    over (input slew, output load); STA interpolates bilinearly and
+    propagates slew.  This module provides the table type plus a
+    characterizer that synthesizes tables from this library's linear model
+    with the curvature real silicon shows: delay grows logarithmically with
+    input slew, output slew is dominated by the drive-resistance/load
+    product.
+
+    Indices are clamped at the table edges (no extrapolation blow-ups),
+    matching common STA practice. *)
+
+type table = {
+  slews : float array;  (** ascending input-slew axis, ps *)
+  loads : float array;  (** ascending load axis, fF *)
+  values : float array array;  (** [values.(i).(j)] at [slews.(i)], [loads.(j)] *)
+}
+
+val lookup : table -> slew:float -> load:float -> float
+(** Bilinear interpolation, clamped to the table's corners. *)
+
+val make :
+  slews:float array -> loads:float array -> f:(slew:float -> load:float -> float) -> table
+(** Tabulate [f] on the given grid. Raises [Invalid_argument] on empty or
+    unsorted axes. *)
+
+type arcs = {
+  delay : table;
+  out_slew : table;
+}
+
+val characterize : Cell.t -> arcs
+(** Synthesize the cell's tables on the standard grid. *)
+
+type store
+
+val store : unit -> store
+(** A memoizing cache of [characterize] keyed by cell name. *)
+
+val arcs_of : store -> Cell.t -> arcs
+
+val default_input_slew : float
+(** Slew assumed at primary inputs and flip-flop clock pins, ps. *)

@@ -1,0 +1,53 @@
+type t = {
+  vdd : float;
+  wire_r_per_um : float;
+  wire_c_per_um : float;
+  switch_r_width : float;
+  switch_area_per_width : float;
+  switch_leak_per_width : float;
+  switch_input_cap : float;
+  bounce_delay_factor : float;
+  bounce_limit : float;
+  vgnd_length_limit : float;
+  em_cell_limit : int;
+  em_current_limit : float;
+  rc_estimation_error : float;
+  row_height : float;
+  mte_max_fanout : int;
+  hold_margin : float;
+}
+
+let default =
+  {
+    vdd = 1.2;
+    wire_r_per_um = 0.8;
+    wire_c_per_um = 0.2;
+    switch_r_width = 60_000.0;
+    switch_area_per_width = 0.9;
+    switch_leak_per_width = 0.25;
+    switch_input_cap = 1.1;
+    bounce_delay_factor = 1.0;
+    bounce_limit = 0.10;
+    vgnd_length_limit = 120.0;
+    em_cell_limit = 24;
+    em_current_limit = 120.0;
+    rc_estimation_error = 0.25;
+    row_height = 2.0;
+    mte_max_fanout = 12;
+    hold_margin = 0.0;
+  }
+
+let switch_resistance t ~width =
+  if width <= 0.0 then invalid_arg "Tech.switch_resistance: width must be positive";
+  t.switch_r_width /. width
+
+let switch_area t ~width = t.switch_area_per_width *. width
+let switch_leakage t ~width = t.switch_leak_per_width *. width
+
+let width_for_bounce t ~current_ua ~limit_v =
+  if limit_v <= 0.0 then invalid_arg "Tech.width_for_bounce: limit must be positive";
+  if current_ua <= 0.0 then 0.1
+  else
+    (* bounce = I * R = I * r_width / W  =>  W = I * r_width / limit *)
+    let amps = current_ua *. 1e-6 in
+    Float.max 0.1 (amps *. t.switch_r_width /. limit_v)

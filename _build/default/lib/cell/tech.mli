@@ -1,0 +1,42 @@
+(** Technology constants for the simulated process.
+
+    The values are calibrated to a 90nm-class low-power process so that the
+    qualitative relations the paper relies on hold: low-Vth cells are ~1.4x
+    faster and ~20x leakier than high-Vth cells; a high-Vth footer switch in
+    series costs a few percent of delay plus an IR bounce on the virtual
+    ground; switch on-resistance, area, and leakage all scale with width. *)
+
+type t = {
+  vdd : float;  (** supply voltage, V *)
+  wire_r_per_um : float;  (** wire resistance, ohm/um *)
+  wire_c_per_um : float;  (** wire capacitance, fF/um *)
+  switch_r_width : float;  (** footer on-resistance = this / width, ohm *)
+  switch_area_per_width : float;  (** footer area per unit width, um^2 *)
+  switch_leak_per_width : float;  (** footer standby leakage per width, nW *)
+  switch_input_cap : float;  (** MTE pin cap of a unit-width footer, fF *)
+  bounce_delay_factor : float;
+      (** data-path delay multiplier is [1 + factor * bounce/vdd] *)
+  bounce_limit : float;  (** designer's VGND bounce upper limit, V *)
+  vgnd_length_limit : float;  (** crosstalk cap on VGND line length, um *)
+  em_cell_limit : int;  (** electromigration cap on cells per switch *)
+  em_current_limit : float;  (** max current through one switch, uA *)
+  rc_estimation_error : float;
+      (** relative error bound of pre-route RC estimates vs extraction *)
+  row_height : float;  (** placement row height, um *)
+  mte_max_fanout : int;  (** max fanout per buffer on the MTE net *)
+  hold_margin : float;  (** required hold slack, ps *)
+}
+
+val default : t
+(** The calibrated process used throughout the experiments. *)
+
+val switch_resistance : t -> width:float -> float
+(** On-resistance (ohm) of a footer of the given width. *)
+
+val switch_area : t -> width:float -> float
+val switch_leakage : t -> width:float -> float
+
+val width_for_bounce : t -> current_ua:float -> limit_v:float -> float
+(** Minimum footer width such that [current * R(width) <= limit], given the
+    current in microamperes.  Raises [Invalid_argument] if the limit is not
+    positive. *)

@@ -1,0 +1,25 @@
+type t = Low | High
+
+type mt_style = Plain | Mt_embedded | Mt_no_vgnd | Mt_vgnd
+
+let to_string = function Low -> "low-vth" | High -> "high-vth"
+
+let style_to_string = function
+  | Plain -> "plain"
+  | Mt_embedded -> "mt-embedded"
+  | Mt_no_vgnd -> "mt-no-vgnd"
+  | Mt_vgnd -> "mt-vgnd"
+
+let is_mt = function
+  | Plain -> false
+  | Mt_embedded | Mt_no_vgnd | Mt_vgnd -> true
+
+let equal a b = match (a, b) with
+  | Low, Low | High, High -> true
+  | Low, High | High, Low -> false
+
+let style_equal a b =
+  match (a, b) with
+  | Plain, Plain | Mt_embedded, Mt_embedded | Mt_no_vgnd, Mt_no_vgnd | Mt_vgnd, Mt_vgnd ->
+    true
+  | (Plain | Mt_embedded | Mt_no_vgnd | Mt_vgnd), _ -> false

@@ -1,0 +1,28 @@
+(** Threshold-voltage flavour and multi-threshold style of a cell.
+
+    The paper's taxonomy (its Fig. 1):
+    - a {e low-Vth} cell is fast and leaky;
+    - a {e high-Vth} cell is slow and tight;
+    - an {e MT-cell} has low-Vth logic gated by a high-Vth switch, either
+      embedded per-cell with its own output holder (conventional
+      Selective-MT, Fig. 1a) or exposed through a VGND port so that plural
+      cells share one switch (improved Selective-MT, Fig. 1b).  During the
+      replacement stage the flow uses an MT-cell {e without} the VGND port
+      definition, since the switch does not exist yet. *)
+
+type t = Low | High
+
+type mt_style =
+  | Plain  (** ordinary cell, directly on the ground rail *)
+  | Mt_embedded  (** conventional MT-cell: own switch + output holder inside *)
+  | Mt_no_vgnd  (** improved MT-cell as used before switch insertion *)
+  | Mt_vgnd  (** improved MT-cell with VGND port, switch shared externally *)
+
+val to_string : t -> string
+val style_to_string : mt_style -> string
+
+val is_mt : mt_style -> bool
+(** True for every MT style (embedded or VGND, with or without port). *)
+
+val equal : t -> t -> bool
+val style_equal : mt_style -> mt_style -> bool

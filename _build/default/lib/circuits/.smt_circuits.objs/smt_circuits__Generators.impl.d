@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Array List Option Printf Smt_cell Smt_netlist Smt_util

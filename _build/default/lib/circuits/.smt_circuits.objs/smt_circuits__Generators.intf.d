@@ -1,0 +1,1 @@
+lib/circuits/generators.mli: Smt_cell Smt_netlist

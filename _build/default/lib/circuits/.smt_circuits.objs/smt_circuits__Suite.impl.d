@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Array Generators List Printf Smt_cell Smt_netlist Smt_util String

@@ -1,0 +1,67 @@
+(** Circuit generators.
+
+    The paper evaluates on two unnamed production blocks ("circuit A" and
+    "circuit B"); since those are Toshiba-internal, the generators here
+    produce synthetic netlists with controlled structure: registered
+    arithmetic blocks whose paths are uniformly deep (most cells end up
+    timing-critical, like a datapath) and layered random logic with varied
+    depths (plenty of slack, like control logic).  All generators build
+    all-low-Vth netlists with a clock input — the flow's precondition. *)
+
+val c17 : Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** The ISCAS-85 c17 benchmark: 6 NAND2, 5 inputs, 2 outputs, no
+    flip-flops. *)
+
+val layered :
+  ?seed:int ->
+  ?min_depth:int ->
+  name:string ->
+  inputs:int ->
+  outputs:int ->
+  width:int ->
+  depth:int ->
+  Smt_cell.Library.t ->
+  Smt_netlist.Netlist.t
+(** Registered random layered logic: input flip-flops, [depth] layers of
+    [width] random 2-3 input gates wired to the previous layers, output
+    flip-flops.  [min_depth] (default [depth]) lets columns end early,
+    creating slack diversity; with [min_depth = depth] all paths are
+    near-uniform (datapath-like). *)
+
+val ripple_adder :
+  ?registered:bool -> name:string -> bits:int -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** Ripple-carry adder; deep single critical chain. *)
+
+val multiplier :
+  ?registered:bool -> name:string -> bits:int -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** Array multiplier (AND partial products + full-adder array); most paths
+    near-critical. *)
+
+val alu :
+  ?seed:int -> name:string -> bits:int -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** Registered ALU: add, and, or, xor selected by a 2-bit opcode mux. *)
+
+val counter : name:string -> bits:int -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** Synchronous binary counter (sequential loop fodder for CTS/hold tests). *)
+
+val kogge_stone :
+  ?registered:bool -> name:string -> bits:int -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** Kogge-Stone parallel-prefix adder: logarithmic depth, wide fanout —
+    the opposite timing profile of the ripple adder. *)
+
+val crc : name:string -> bits:int -> taps:int list -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** Galois LFSR / CRC register with the given feedback taps (bit indices);
+    serial input [din], parallel state outputs. *)
+
+val pipeline :
+  ?seed:int ->
+  name:string ->
+  stages:int ->
+  width:int ->
+  stage_depth:int ->
+  Smt_cell.Library.t ->
+  Smt_netlist.Netlist.t
+(** A register-to-register pipeline: [stages] banks of flip-flops with
+    [stage_depth] layers of random logic between consecutive banks —
+    uniform stage timing, the canonical datapath shape. *)
+

@@ -1,0 +1,134 @@
+module Netlist = Smt_netlist.Netlist
+module Builder = Smt_netlist.Builder
+module Func = Smt_cell.Func
+module Library = Smt_cell.Library
+module Vth = Smt_cell.Vth
+module Rng = Smt_util.Rng
+
+(* Helpers to extend an existing netlist (used to fuse blocks into one
+   design sharing a clock). *)
+
+let lv_cell lib kind = Library.variant lib kind Vth.Low Vth.Plain
+
+let add_gate nl lib kind ins out =
+  let cell = lv_cell lib kind in
+  let names = Func.input_names kind in
+  let pins = List.mapi (fun i nid -> (names.(i), nid)) ins @ [ ("Z", out) ] in
+  let name = Netlist.fresh_inst_name nl (String.lowercase_ascii (Func.to_string kind)) in
+  ignore (Netlist.add_inst nl ~name cell pins)
+
+let fresh_gate nl lib kind ins =
+  let out = Netlist.fresh_net nl "n" in
+  add_gate nl lib kind ins out;
+  out
+
+let add_reg nl lib ~clk d =
+  let q = Netlist.fresh_net nl "q" in
+  let name = Netlist.fresh_inst_name nl "dff" in
+  ignore (Netlist.add_inst nl ~name (lv_cell lib Func.Dff) [ ("D", d); ("CK", clk); ("Q", q) ]);
+  q
+
+(* Extend a netlist with a registered block of layered random logic sharing
+   the clock: column [c] runs for a depth drawn from [min_depth, depth]. *)
+let extend_layered nl lib ~clk ~seed ~prefix ~width ~depth ~min_depth =
+  let rng = Rng.create seed in
+  let ins = List.init width (fun i -> Netlist.add_input nl (Printf.sprintf "%s%d" prefix i)) in
+  let current = Array.of_list (List.map (add_reg nl lib ~clk) ins) in
+  let col_depth = Array.init width (fun _ -> Rng.int_in rng min_depth depth) in
+  let pool =
+    [| Func.Nand2; Func.Nor2; Func.Xor2; Func.Aoi21; Func.Oai21; Func.And2; Func.Or2 |]
+  in
+  for layer = 1 to depth do
+    let prev = Array.copy current in
+    for c = 0 to width - 1 do
+      if layer <= col_depth.(c) then begin
+        let kind = Rng.pick rng pool in
+        let srcs =
+          List.init (Func.arity kind) (fun i ->
+              if i = 0 then prev.(c) else prev.(Rng.int rng width))
+        in
+        current.(c) <- fresh_gate nl lib kind srcs
+      end
+    done
+  done;
+  Array.iteri
+    (fun c net ->
+      let q = add_reg nl lib ~clk net in
+      let po = Netlist.add_output nl (Printf.sprintf "%so%d" prefix c) in
+      add_gate nl lib Func.Buf [ q ] po)
+    current
+
+let clock_of nl =
+  match Netlist.clock_net nl with
+  | Some c -> c
+  | None -> Netlist.add_input ~clock:true nl "clk"
+
+let circuit_a lib =
+  (* Datapath-dominated: a 12x12 array multiplier plus a uniformly deep
+     layered block — nearly every path is near-critical, like the paper's
+     circuit A. *)
+  let nl = Generators.multiplier ~name:"circuit_a" ~bits:12 lib in
+  let clk = clock_of nl in
+  extend_layered nl lib ~clk ~seed:23 ~prefix:"dx" ~width:24 ~depth:16 ~min_depth:16;
+  nl
+
+let circuit_b lib =
+  (* Mixed: an 8x8 multiplier core keeps a substantial critical population,
+     while wide shallow control logic supplies the slack that Dual-Vth
+     converts to high-Vth — circuit B's smaller overheads. *)
+  let nl = Generators.multiplier ~name:"circuit_b" ~bits:8 lib in
+  let clk = clock_of nl in
+  extend_layered nl lib ~clk ~seed:31 ~prefix:"cx" ~width:40 ~depth:8 ~min_depth:2;
+  nl
+
+let tiny lib = Generators.ripple_adder ~registered:true ~name:"tiny_adder" ~bits:4 lib
+
+let fig23_example lib =
+  let b = Builder.create ~name:"fig23" ~lib () in
+  let clk = Builder.input ~clock:true b "clk" in
+  let d0 = Builder.input b "d0" in
+  let d1 = Builder.input b "d1" in
+  let d2 = Builder.input b "d2" in
+  let q0 = Builder.dff b ~d:d0 ~clk in
+  let q1 = Builder.dff b ~d:d1 ~clk in
+  let q2 = Builder.dff b ~d:d2 ~clk in
+  (* critical cloud: a chain with internal and boundary fanouts *)
+  let g1 = Builder.nand_ b q0 q1 in
+  let g2 = Builder.xor_ b g1 q2 in
+  let g3 = Builder.nand_ b g2 g1 in
+  let g4 = Builder.or_ b g3 q1 in
+  (* non-critical side logic *)
+  let s1 = Builder.and_ b q0 q2 in
+  let s2 = Builder.not_ b s1 in
+  let q3 = Builder.dff b ~d:g4 ~clk in
+  let q4 = Builder.dff b ~d:s2 ~clk in
+  let o0 = Builder.output b "o0" in
+  let o1 = Builder.output b "o1" in
+  Builder.gate_into b Func.Buf [ q3 ] o0;
+  Builder.gate_into b Func.Xor2 [ q4; g2 ] o1;
+  Builder.netlist b
+
+let all =
+  [
+    ("circuit_a", circuit_a);
+    ("circuit_b", circuit_b);
+    ("c17", Generators.c17);
+    ("tiny", tiny);
+    ("fig23", fig23_example);
+    ("mult8", fun lib -> Generators.multiplier ~name:"mult8" ~bits:8 lib);
+    ("alu8", fun lib -> Generators.alu ~name:"alu8" ~bits:8 lib);
+    ("adder16", fun lib -> Generators.ripple_adder ~name:"adder16" ~bits:16 lib);
+    ("counter12", fun lib -> Generators.counter ~name:"counter12" ~bits:12 lib);
+    ("ks16", fun lib -> Generators.kogge_stone ~name:"ks16" ~bits:16 lib);
+    ("crc16", fun lib -> Generators.crc ~name:"crc16" ~bits:16 ~taps:[ 2; 15 ] lib);
+    ( "pipe4x16",
+      fun lib -> Generators.pipeline ~name:"pipe4x16" ~stages:4 ~width:16 ~stage_depth:6 lib );
+    ( "soc",
+      fun lib ->
+        Smt_netlist.Compose.merge ~name:"soc"
+          [
+            ("dp", Generators.multiplier ~name:"mult" ~bits:8 lib);
+            ("alu", Generators.alu ~name:"alu" ~bits:8 lib);
+            ("crc", Generators.crc ~name:"crc" ~bits:16 ~taps:[ 2; 15 ] lib);
+          ] );
+  ]

@@ -1,0 +1,32 @@
+(** The evaluation circuits.
+
+    The paper's circuits A and B are unnamed Toshiba production blocks; we
+    substitute synthetic blocks with the structural properties the results
+    imply:
+
+    - {b circuit A} is datapath-dominated — an array multiplier plus deep,
+      uniform-depth registered logic.  Nearly every path is close to
+      critical, so Dual-Vth assignment leaves a large low-Vth (→ MT)
+      population: large conventional-SMT area overhead, big improved-SMT
+      saving (paper: 164.8% → 133.2%).
+    - {b circuit B} is control-flavoured — shallow layered logic with wide
+      depth variation plus a small ALU.  Much of it has slack and goes
+      high-Vth, so the MT population and the overheads are smaller
+      (paper: 142.2% → 115.7%).
+
+    Generators return a fresh netlist per call ([Flow.run] mutates its
+    input). *)
+
+val circuit_a : Smt_cell.Library.t -> Smt_netlist.Netlist.t
+val circuit_b : Smt_cell.Library.t -> Smt_netlist.Netlist.t
+
+val tiny : Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** A small registered block for fast tests (a ripple adder). *)
+
+val fig23_example : Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** A flip-flop-bounded fragment shaped like the paper's Fig. 2/3 example:
+    a few critical gates between registers, with fanouts both inside and
+    outside the critical set. *)
+
+val all : (string * (Smt_cell.Library.t -> Smt_netlist.Netlist.t)) list
+(** Named generators, for the CLI. *)

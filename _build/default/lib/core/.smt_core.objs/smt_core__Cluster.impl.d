@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Hashtbl List Printf Smt_cell Smt_netlist Smt_place Smt_power Smt_util

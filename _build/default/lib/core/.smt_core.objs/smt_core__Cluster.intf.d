@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Smt_cell Smt_netlist Smt_place Smt_sim

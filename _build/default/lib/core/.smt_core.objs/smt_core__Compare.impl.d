@@ -1,0 +1,1 @@
+lib/core/compare.ml: Flow List Printf Smt_util

@@ -1,0 +1,1 @@
+lib/core/domains.ml: Array Cluster List Printf Smt_cell Smt_netlist Smt_place Smt_util

@@ -1,0 +1,1 @@
+lib/core/eco.ml: Gate_sizing List Smt_cell Smt_netlist Smt_place Smt_sta

@@ -1,0 +1,1 @@
+lib/core/eco.mli: Smt_netlist Smt_place Smt_sta

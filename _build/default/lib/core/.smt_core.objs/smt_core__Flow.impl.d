@@ -1,0 +1,1 @@
+lib/core/flow.ml: Cluster Eco Format Gate_sizing List Mt_replace Mte Reopt Retention Smt_cell Smt_cts Smt_netlist Smt_place Smt_power Smt_route Smt_sim Smt_sta Switch_insert Vth_assign

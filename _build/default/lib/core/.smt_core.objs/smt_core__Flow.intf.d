@@ -1,0 +1,1 @@
+lib/core/flow.mli: Cluster Format Smt_netlist Smt_power

@@ -1,0 +1,1 @@
+lib/core/gate_sizing.ml: Hashtbl List Smt_cell Smt_netlist Smt_sta

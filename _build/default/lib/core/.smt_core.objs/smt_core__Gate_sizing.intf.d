@@ -1,0 +1,1 @@
+lib/core/gate_sizing.mli: Smt_netlist Smt_sta

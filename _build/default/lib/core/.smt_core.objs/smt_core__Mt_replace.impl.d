@@ -1,0 +1,1 @@
+lib/core/mt_replace.ml: List Smt_cell Smt_netlist

@@ -1,0 +1,1 @@
+lib/core/mt_replace.mli: Smt_netlist

@@ -1,0 +1,1 @@
+lib/core/mte.ml: Hashtbl List Smt_cell Smt_netlist Smt_place Smt_util String

@@ -1,0 +1,1 @@
+lib/core/mte.mli: Smt_netlist Smt_place

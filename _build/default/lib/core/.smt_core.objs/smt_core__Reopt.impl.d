@@ -1,0 +1,1 @@
+lib/core/reopt.ml: Cluster Float List Smt_cell Smt_netlist Smt_place Smt_power

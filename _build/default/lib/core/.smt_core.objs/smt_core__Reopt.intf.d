@@ -1,0 +1,1 @@
+lib/core/reopt.mli: Cluster Smt_netlist Smt_place Smt_sim

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Hashtbl List Printf Smt_cell Smt_netlist Smt_power Smt_sta Smt_util

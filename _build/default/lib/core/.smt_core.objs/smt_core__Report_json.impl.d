@@ -1,0 +1,1 @@
+lib/core/report_json.ml: Buffer Char Compare Float Flow List Printf Smt_power String

@@ -1,0 +1,1 @@
+lib/core/report_json.mli: Compare Flow

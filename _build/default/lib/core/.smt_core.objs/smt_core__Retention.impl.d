@@ -1,0 +1,1 @@
+lib/core/retention.ml: Float List Smt_cell Smt_netlist Smt_sta

@@ -1,0 +1,1 @@
+lib/core/retention.mli: Smt_netlist Smt_sta

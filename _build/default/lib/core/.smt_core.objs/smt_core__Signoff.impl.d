@@ -1,0 +1,1 @@
+lib/core/signoff.ml: Format List Printf Smt_cell Smt_netlist Smt_power Smt_sta Smt_util

@@ -1,0 +1,1 @@
+lib/core/signoff.mli: Smt_cell Smt_netlist Smt_sta

@@ -1,0 +1,1 @@
+lib/core/standby.ml: Float List Smt_cell Smt_netlist Smt_sim Smt_sta Smt_util String

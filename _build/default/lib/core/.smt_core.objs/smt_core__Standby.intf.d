@@ -1,0 +1,1 @@
+lib/core/standby.mli: Smt_netlist Smt_sta

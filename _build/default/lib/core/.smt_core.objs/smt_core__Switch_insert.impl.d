@@ -1,0 +1,1 @@
+lib/core/switch_insert.ml: List Smt_cell Smt_netlist Smt_place Smt_util

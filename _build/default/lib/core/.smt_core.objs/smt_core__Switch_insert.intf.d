@@ -1,0 +1,1 @@
+lib/core/switch_insert.mli: Smt_netlist Smt_place

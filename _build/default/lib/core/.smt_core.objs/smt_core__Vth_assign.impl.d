@@ -1,0 +1,1 @@
+lib/core/vth_assign.ml: Hashtbl List Smt_cell Smt_netlist Smt_sta

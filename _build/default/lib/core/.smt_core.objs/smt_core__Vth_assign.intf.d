@@ -1,0 +1,1 @@
+lib/core/vth_assign.mli: Smt_netlist Smt_sta

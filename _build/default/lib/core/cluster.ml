@@ -1,0 +1,313 @@
+module Netlist = Smt_netlist.Netlist
+module Placement = Smt_place.Placement
+module Cell = Smt_cell.Cell
+module Vth = Smt_cell.Vth
+module Tech = Smt_cell.Tech
+module Library = Smt_cell.Library
+module Geom = Smt_util.Geom
+module Bounce = Smt_power.Bounce
+module Em = Smt_power.Em
+
+type params = {
+  bounce_limit : float;
+  length_limit : float;
+  cell_limit : int;
+  current_limit : float;
+  sizing_margin : float;
+  diversity : bool;
+  length_factor : float;
+}
+
+let default_params (tech : Tech.t) =
+  {
+    bounce_limit = tech.Tech.bounce_limit;
+    length_limit = tech.Tech.vgnd_length_limit;
+    cell_limit = tech.Tech.em_cell_limit;
+    current_limit = tech.Tech.em_current_limit;
+    sizing_margin = 0.10;
+    diversity = true;
+    length_factor = 1.0;
+  }
+
+type cluster = {
+  switch : Netlist.inst_id;
+  members : Netlist.inst_id list;
+  width : float;
+  wire_length : float;
+  sim_current_ua : float;
+  sustained_ua : float;
+  bounce : float;
+}
+
+type result = {
+  clusters : cluster list;
+  total_switch_width : float;
+  total_switch_area : float;
+}
+
+let required_width tech p ~current_ua ~wire_length =
+  if current_ua <= 0.0 then Some 0.1
+  else begin
+    let amps = current_ua *. 1e-6 in
+    let r_wire = Bounce.vgnd_wire_res tech ~length:wire_length in
+    let budget = (p.bounce_limit /. amps) -. r_wire in
+    if budget <= 0.0 then None
+    else Some (tech.Tech.switch_r_width /. budget *. (1.0 +. p.sizing_margin))
+  end
+
+let member_points place members =
+  List.filter_map (fun iid -> Placement.inst_point_opt place iid) members
+
+let cluster_length ?switch_at place p members =
+  let pts = member_points place members in
+  let pts = match switch_at with Some at -> at :: pts | None -> pts in
+  Geom.spanning_length pts *. p.length_factor
+
+let vgnd_length place sw =
+  let nl = Placement.netlist place in
+  let members = Netlist.switch_members nl sw in
+  let pts = member_points place members in
+  let pts = match Placement.inst_point_opt place sw with Some at -> at :: pts | None -> pts in
+  Geom.spanning_length pts
+
+(* Simultaneous current of a would-be cluster under the sizing policy. *)
+let sim_current ?activity ?load_of p nl members =
+  if p.diversity then Bounce.simultaneous_current ?activity ?load_of nl ~members
+  else
+    List.fold_left (fun acc iid -> acc +. (Netlist.cell nl iid).Cell.peak_current) 0.0 members
+
+let feasible ?activity ?load_of place p members =
+  let nl = Placement.netlist place in
+  let tech = Library.tech (Netlist.lib nl) in
+  let n = List.length members in
+  if n > p.cell_limit then false
+  else begin
+    let sustained = Bounce.sustained_current ?activity ?load_of nl ~members in
+    if not (Em.cluster_ok { tech with Tech.em_cell_limit = p.cell_limit;
+                            Tech.em_current_limit = p.current_limit }
+              ~cells:n ~sustained_ua:sustained)
+    then false
+    else begin
+      let centroid = Placement.centroid place members in
+      let length = cluster_length ~switch_at:centroid place p members in
+      if length > p.length_limit then false
+      else
+        let current = sim_current ?activity ?load_of p nl members in
+        required_width tech p ~current_ua:current ~wire_length:length <> None
+    end
+  end
+
+(* Placement-order sweep key: row index then serpentine x. *)
+let sweep_order place members =
+  let nl = Placement.netlist place in
+  let tech = Library.tech (Netlist.lib nl) in
+  let row_h = tech.Tech.row_height in
+  let key iid =
+    match Placement.inst_point_opt place iid with
+    | Some p ->
+      let row = int_of_float (p.Geom.y /. row_h) in
+      let x = if row mod 2 = 0 then p.Geom.x else -.p.Geom.x in
+      (row, x)
+    | None -> (max_int, 0.0)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) members
+
+let build ?activity ?load_of ?params ?(dissolve = true) ?cells place ~mte_net =
+  let nl = Placement.netlist place in
+  let lib = Netlist.lib nl in
+  let tech = Library.tech lib in
+  let p = match params with Some p -> p | None -> default_params tech in
+  (* Dissolve the existing switch structure. *)
+  if dissolve then
+    List.iter
+      (fun sw ->
+        List.iter (fun m -> Netlist.set_vgnd_switch nl m None) (Netlist.switch_members nl sw);
+        Netlist.remove_inst nl sw)
+      (Netlist.switches nl);
+  let cells =
+    match cells with
+    | Some l -> l
+    | None ->
+      Netlist.live_insts nl
+      |> List.filter (fun iid -> (Netlist.cell nl iid).Cell.style = Vth.Mt_vgnd)
+  in
+  let ordered = sweep_order place cells in
+  (* Greedy packing along the sweep. *)
+  let groups = ref [] in
+  let current = ref [] in
+  let flush () =
+    if !current <> [] then begin
+      groups := List.rev !current :: !groups;
+      current := []
+    end
+  in
+  List.iter
+    (fun iid ->
+      let candidate = iid :: !current in
+      if feasible ?activity ?load_of place p candidate then current := candidate
+      else begin
+        if !current = [] then
+          invalid_arg
+            (Printf.sprintf "Cluster.build: cell %s cannot satisfy constraints alone"
+               (Netlist.inst_name nl iid));
+        flush ();
+        if feasible ?activity ?load_of place p [ iid ] then current := [ iid ]
+        else
+          invalid_arg
+            (Printf.sprintf "Cluster.build: cell %s cannot satisfy constraints alone"
+               (Netlist.inst_name nl iid))
+      end)
+    ordered;
+  flush ();
+  (* Materialize one sized switch per group. *)
+  let clusters =
+    List.map
+      (fun members ->
+        let centroid = Placement.centroid place members in
+        let length = cluster_length ~switch_at:centroid place p members in
+        let current = sim_current ?activity ?load_of p nl members in
+        let sustained = Bounce.sustained_current ?activity ?load_of nl ~members in
+        let width =
+          match required_width tech p ~current_ua:current ~wire_length:length with
+          | Some w -> w
+          | None -> assert false (* feasible() checked *)
+        in
+        let sw_cell = Library.switch lib ~width in
+        let name = Netlist.fresh_inst_name nl "sw" in
+        let sw = Netlist.add_inst nl ~name sw_cell [ ("MTE", mte_net) ] in
+        Placement.place_inst place sw centroid;
+        List.iter (fun m -> Netlist.set_vgnd_switch nl m (Some sw)) members;
+        let bounce =
+          Bounce.bounce_v tech ~switch_width:sw_cell.Cell.switch_width ~wire_length:length
+            ~current_ua:current
+        in
+        {
+          switch = sw;
+          members;
+          width = sw_cell.Cell.switch_width;
+          wire_length = length;
+          sim_current_ua = current;
+          sustained_ua = sustained;
+          bounce;
+        })
+      (List.rev !groups)
+  in
+  let total_width = List.fold_left (fun acc c -> acc +. c.width) 0.0 clusters in
+  let total_area =
+    List.fold_left (fun acc c -> acc +. Tech.switch_area tech ~width:c.width) 0.0 clusters
+  in
+  { clusters; total_switch_width = total_width; total_switch_area = total_area }
+
+(* --- refinement --- *)
+
+(* Required width of a member set at its own centroid, or None when the
+   set violates a constraint. *)
+let group_width ?activity ?load_of place p members =
+  match members with
+  | [] -> Some 0.0
+  | _ ->
+    if not (feasible ?activity ?load_of place p members) then None
+    else begin
+      let nl = Placement.netlist place in
+      let tech = Library.tech (Netlist.lib nl) in
+      let centroid = Placement.centroid place members in
+      let length = cluster_length ~switch_at:centroid place p members in
+      let current = sim_current ?activity ?load_of p nl members in
+      required_width tech p ~current_ua:current ~wire_length:length
+    end
+
+let refine ?activity ?load_of ?params ?(passes = 2) place =
+  let nl = Placement.netlist place in
+  let lib = Netlist.lib nl in
+  let tech = Library.tech lib in
+  let p = match params with Some p -> p | None -> default_params tech in
+  let membership = Hashtbl.create 97 in
+  List.iter
+    (fun sw -> Hashtbl.replace membership sw (Netlist.switch_members nl sw))
+    (Netlist.switches nl);
+  let switch_ids () = Hashtbl.fold (fun k _ acc -> k :: acc) membership [] in
+  let centroid_of sw = Placement.centroid place (Hashtbl.find membership sw) in
+  let width_of members = group_width ?activity ?load_of place p members in
+  for _pass = 1 to passes do
+    let ids = switch_ids () in
+    List.iter
+      (fun sw ->
+        List.iter
+          (fun cell ->
+            (* still a member? (it may have moved this pass) *)
+            let members = Hashtbl.find membership sw in
+            if List.mem cell members && List.length members > 1 then begin
+              match Placement.inst_point_opt place cell with
+              | None -> ()
+              | Some at -> (
+                (* nearest other cluster *)
+                let best = ref None in
+                List.iter
+                  (fun other ->
+                    if other <> sw then begin
+                      let d = Smt_util.Geom.manhattan at (centroid_of other) in
+                      match !best with
+                      | Some (_, bd) when bd <= d -> ()
+                      | Some _ | None -> best := Some (other, d)
+                    end)
+                  ids;
+                match !best with
+                | None -> ()
+                | Some (other, _) -> (
+                  let from_now = List.filter (( <> ) cell) members in
+                  let to_now = cell :: Hashtbl.find membership other in
+                  match
+                    ( width_of members, width_of (Hashtbl.find membership other),
+                      width_of from_now, width_of to_now )
+                  with
+                  | Some w_from, Some w_to, Some w_from', Some w_to'
+                    when w_from' +. w_to' < w_from +. w_to -. 1e-6 ->
+                    Hashtbl.replace membership sw from_now;
+                    Hashtbl.replace membership other to_now;
+                    Netlist.set_vgnd_switch nl cell (Some other)
+                  | _ -> ()))
+            end)
+          (Hashtbl.find membership sw))
+      ids
+  done;
+  (* drop emptied clusters, re-size and re-centre the rest *)
+  let clusters =
+    Hashtbl.fold
+      (fun sw members acc ->
+        match members with
+        | [] ->
+          Netlist.remove_inst nl sw;
+          acc
+        | _ ->
+          let centroid = Placement.centroid place members in
+          Placement.place_inst place sw centroid;
+          let length = cluster_length ~switch_at:centroid place p members in
+          let current = sim_current ?activity ?load_of p nl members in
+          let sustained = Bounce.sustained_current ?activity ?load_of nl ~members in
+          let width =
+            match required_width tech p ~current_ua:current ~wire_length:length with
+            | Some w -> w
+            | None -> (Netlist.cell nl sw).Cell.switch_width
+          in
+          Netlist.replace_cell nl sw (Library.switch lib ~width);
+          let actual = (Netlist.cell nl sw).Cell.switch_width in
+          let bounce =
+            Bounce.bounce_v tech ~switch_width:actual ~wire_length:length ~current_ua:current
+          in
+          {
+            switch = sw;
+            members;
+            width = actual;
+            wire_length = length;
+            sim_current_ua = current;
+            sustained_ua = sustained;
+            bounce;
+          }
+          :: acc)
+      membership []
+  in
+  let total_width = List.fold_left (fun acc c -> acc +. c.width) 0.0 clusters in
+  let total_area =
+    List.fold_left (fun acc c -> acc +. Tech.switch_area tech ~width:c.width) 0.0 clusters
+  in
+  { clusters; total_switch_width = total_width; total_switch_area = total_area }

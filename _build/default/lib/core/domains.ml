@@ -1,0 +1,140 @@
+module Netlist = Smt_netlist.Netlist
+module Placement = Smt_place.Placement
+module Cell = Smt_cell.Cell
+module Vth = Smt_cell.Vth
+module Geom = Smt_util.Geom
+
+type t = {
+  nl : Netlist.t;
+  mtes : Netlist.net_id array;
+  groups : Netlist.inst_id list array;
+  group_switches : Netlist.inst_id list array;
+}
+
+(* Geometric partition: k-means on cell positions with a few Lloyd
+   iterations, seeded deterministically along the die diagonal. *)
+let kmeans place cells k =
+  let pts = List.map (fun iid -> (iid, Placement.inst_point place iid)) cells in
+  let die = Placement.die place in
+  let centers =
+    Array.init k (fun i ->
+        let f = (float_of_int i +. 0.5) /. float_of_int k in
+        Geom.point
+          (die.Geom.lx +. (f *. Geom.width die))
+          (die.Geom.ly +. (f *. Geom.height die)))
+  in
+  let assign () =
+    let groups = Array.make k [] in
+    List.iter
+      (fun (iid, p) ->
+        let best = ref 0 in
+        Array.iteri
+          (fun i c -> if Geom.manhattan p c < Geom.manhattan p centers.(!best) then best := i)
+          centers;
+        groups.(!best) <- iid :: groups.(!best))
+      pts;
+    Array.map List.rev groups
+  in
+  let recenter groups =
+    Array.iteri
+      (fun i members ->
+        match members with
+        | [] -> ()
+        | _ ->
+          let n = float_of_int (List.length members) in
+          let sx, sy =
+            List.fold_left
+              (fun (sx, sy) iid ->
+                let p = Placement.inst_point place iid in
+                (sx +. p.Geom.x, sy +. p.Geom.y))
+              (0.0, 0.0) members
+          in
+          centers.(i) <- Geom.point (sx /. n) (sy /. n))
+      groups
+  in
+  let groups = ref (assign ()) in
+  for _ = 1 to 6 do
+    recenter !groups;
+    groups := assign ()
+  done;
+  !groups
+
+let partition ?(domains = 2) ?activity ?params place =
+  if domains < 1 then invalid_arg "Domains.partition: need at least one domain";
+  let nl = Placement.netlist place in
+  let cells =
+    List.filter
+      (fun iid -> (Netlist.cell nl iid).Cell.style = Vth.Mt_vgnd)
+      (Netlist.live_insts nl)
+  in
+  if cells = [] then invalid_arg "Domains.partition: no MT-cells to partition";
+  (* dissolve any existing structure once *)
+  List.iter
+    (fun sw ->
+      List.iter (fun m -> Netlist.set_vgnd_switch nl m None) (Netlist.switch_members nl sw);
+      Netlist.remove_inst nl sw)
+    (Netlist.switches nl);
+  let groups = kmeans place cells domains in
+  let mtes =
+    Array.init domains (fun i ->
+        let name = Printf.sprintf "MTE%d" i in
+        match Netlist.find_net nl name with
+        | Some nid -> nid
+        | None -> Netlist.add_input nl name)
+  in
+  let group_switches =
+    Array.mapi
+      (fun i members ->
+        match members with
+        | [] -> []
+        | _ ->
+          let before = Netlist.switches nl in
+          let built =
+            Cluster.build ?activity ?params ~dissolve:false ~cells:members place
+              ~mte_net:mtes.(i)
+          in
+          ignore built;
+          List.filter (fun sw -> not (List.mem sw before)) (Netlist.switches nl))
+      groups
+  in
+  { nl; mtes; groups; group_switches }
+
+let count t = Array.length t.mtes
+
+let check_index t i =
+  if i < 0 || i >= count t then invalid_arg "Domains: bad domain index"
+
+let mte_net t i =
+  check_index t i;
+  t.mtes.(i)
+
+let members t i =
+  check_index t i;
+  t.groups.(i)
+
+let switches t i =
+  check_index t i;
+  t.group_switches.(i)
+
+let domain_of t iid =
+  let found = ref None in
+  Array.iteri (fun i members -> if !found = None && List.mem iid members then found := Some i)
+    t.groups;
+  !found
+
+let standby_leakage t ~asleep =
+  let nl = t.nl in
+  let asleep_domain iid =
+    match domain_of t iid with Some d -> List.mem d asleep | None -> false
+  in
+  let total = ref 0.0 in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      let leak =
+        match c.Cell.style with
+        | Vth.Mt_vgnd | Vth.Mt_no_vgnd ->
+          if asleep_domain iid then c.Cell.leak_standby else c.Cell.leak_active
+        | Vth.Plain | Vth.Mt_embedded -> c.Cell.leak_standby
+      in
+      total := !total +. leak);
+  !total

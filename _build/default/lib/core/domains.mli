@@ -1,0 +1,39 @@
+(** Multiple power domains (extension).
+
+    A real SoC gates subsystems independently: the paper's single MTE
+    signal becomes one enable per domain, and each domain owns its own
+    switch clusters.  This module partitions the MT-cell population
+    geometrically into [n] domains, rebuilds the switch structure per
+    domain on a per-domain MTE input (MTE0, MTE1, ...), and evaluates the
+    standby leakage of any sleep subset — the partial-standby states a
+    single-MTE design cannot express. *)
+
+type t
+
+val partition :
+  ?domains:int ->
+  ?activity:Smt_sim.Activity.t ->
+  ?params:Cluster.params ->
+  Smt_place.Placement.t ->
+  t
+(** Split the VGND-style MT-cells into [domains] (default 2) geometric
+    groups (balanced k-means on placement), dissolve any existing switch
+    structure, and rebuild clusters per domain, each hanging from its own
+    MTE port.  Raises [Invalid_argument] when there are no MT-cells or
+    [domains < 1]. *)
+
+val count : t -> int
+val mte_net : t -> int -> Smt_netlist.Netlist.net_id
+(** The domain's enable net. Raises [Invalid_argument] on a bad index. *)
+
+val members : t -> int -> Smt_netlist.Netlist.inst_id list
+val switches : t -> int -> Smt_netlist.Netlist.inst_id list
+
+val standby_leakage : t -> asleep:int list -> float
+(** Total standby leakage (nW) when exactly the listed domains sleep:
+    sleeping domains contribute their MT residual plus switch leakage;
+    awake domains leak at their cells' active (low-Vth) rate.  Always-on
+    logic leaks identically in every state. *)
+
+val domain_of : t -> Smt_netlist.Netlist.inst_id -> int option
+(** Which domain an MT-cell landed in. *)

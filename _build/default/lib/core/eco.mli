@@ -1,0 +1,34 @@
+(** Hold-violation fixing ECO.
+
+    After CTS the clock reaches flip-flops with different insertion delays;
+    short launch-to-capture paths can then violate hold.  The ECO walks the
+    violating endpoints and splices a high-Vth delay buffer in front of
+    each offending D pin (moving only that sink), iterating timing until
+    hold is clean — the paper's "ECO ... for fixing the hold violation". *)
+
+type result = {
+  buffers_added : int;
+  iterations : int;
+  hold_before : float;
+  hold_after : float;
+  setup_after : float;
+}
+
+val fix_hold :
+  ?max_iterations:int ->
+  Smt_sta.Sta.config ->
+  Smt_place.Placement.t ->
+  result
+(** Mutates netlist and placement. Stops early if an iteration cannot
+    improve the worst hold slack. *)
+
+type setup_result = {
+  upsized : int;
+  wns_before : float;
+  wns_after : float;
+}
+
+val fix_setup : Smt_sta.Sta.config -> Smt_netlist.Netlist.t -> setup_result
+(** Post-route setup repair: strengthen cells on violating paths
+    (drive-strength upsizing under the final wire/bounce/latency model).
+    No-op when timing is already met. *)

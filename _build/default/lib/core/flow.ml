@@ -1,0 +1,317 @@
+module Netlist = Smt_netlist.Netlist
+module Nl_stats = Smt_netlist.Nl_stats
+module Placement = Smt_place.Placement
+module Parasitics = Smt_route.Parasitics
+module Cts = Smt_cts.Cts
+module Sta = Smt_sta.Sta
+module Wire = Smt_sta.Wire
+module Leakage = Smt_power.Leakage
+module Bounce = Smt_power.Bounce
+module Activity = Smt_sim.Activity
+module Library = Smt_cell.Library
+module Tech = Smt_cell.Tech
+module Cell = Smt_cell.Cell
+module Vth = Smt_cell.Vth
+
+type technique = Dual_vth | Conventional_smt | Improved_smt
+
+let technique_name = function
+  | Dual_vth -> "Dual-Vth"
+  | Conventional_smt -> "Con.-SMT"
+  | Improved_smt -> "Imp.-SMT"
+
+type options = {
+  seed : int;
+  clock_margin : float;
+  assignment_margin : float;
+  utilization : float;
+  placement_iterations : int;
+  activity_cycles : int;
+  cluster_params : Cluster.params option;
+  minimize_holders : bool;
+  gate_sizing : bool;
+  retention_registers : bool;
+  slew_aware : bool;
+  reoptimize : bool;
+  detour : float;
+  mte_max_fanout : int option;
+  cts_max_fanout : int;
+  max_hold_iterations : int;
+}
+
+let default_options =
+  {
+    seed = 1;
+    clock_margin = 0.30;
+    assignment_margin = 0.05;
+    utilization = 0.65;
+    placement_iterations = 8;
+    activity_cycles = 128;
+    cluster_params = None;
+    minimize_holders = true;
+    gate_sizing = false;
+    retention_registers = false;
+    slew_aware = false;
+    reoptimize = true;
+    detour = 1.15;
+    mte_max_fanout = None;
+    cts_max_fanout = 8;
+    max_hold_iterations = 10;
+  }
+
+type stage = {
+  stage_name : string;
+  stage_area : float;
+  stage_standby_nw : float;
+  stage_wns : float;
+  stage_worst_bounce : float;
+  stage_switches : int;
+  stage_holders : int;
+}
+
+type report = {
+  technique : technique;
+  circuit : string;
+  clock_period : float;
+  area : float;
+  standby_nw : float;
+  leakage : Leakage.breakdown;
+  wns : float;
+  hold_slack : float;
+  worst_bounce : float;
+  bounce_violations : int;
+  timing_met : bool;
+  hold_met : bool;
+  n_mt_cells : int;
+  n_switches : int;
+  n_clusters : int;
+  n_holders : int;
+  holders_avoided : int;
+  n_mte_buffers : int;
+  n_cts_buffers : int;
+  n_hold_buffers : int;
+  swapped_to_high_vth : int;
+  cells_downsized : int;
+  ffs_retained : int;
+  mt_area_fraction : float;
+  total_switch_width : float;
+  stages : stage list;
+}
+
+(* The minimal clock period of the current netlist under the given wire
+   model: run STA at a huge period and subtract the worst slack. *)
+let minimal_period ?(slew_aware = false) ~wire nl =
+  let probe = 1e6 in
+  let cfg = Sta.config ~wire ~slew_aware ~clock_period:probe () in
+  let sta = Sta.analyze cfg nl in
+  let wns = Sta.wns sta in
+  if wns = infinity then 100.0 (* no endpoints: nothing constrains the clock *)
+  else probe -. wns
+
+let connect_embedded_mte nl mte =
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      if Vth.style_equal c.Cell.style Vth.Mt_embedded && Netlist.pin_net nl iid "MTE" = None
+      then Netlist.connect nl iid "MTE" mte)
+
+let run ?(options = default_options) technique nl =
+  let lib = Netlist.lib nl in
+  let tech = Library.tech lib in
+  let params =
+    match options.cluster_params with Some p -> p | None -> Cluster.default_params tech
+  in
+  let stages = ref [] in
+  let place =
+    Placement.place ~seed:options.seed ~utilization:options.utilization
+      ~iterations:options.placement_iterations nl
+  in
+  let est = Parasitics.estimate ~seed:(options.seed + 17) place in
+  let wire_est = Parasitics.wire_model est nl in
+  let min_period = minimal_period ~slew_aware:options.slew_aware ~wire:wire_est nl in
+  let clock_period = min_period *. (1.0 +. options.clock_margin) in
+  (* The Vth assignment works against a tighter period, reserving
+     [clock_margin - assignment_margin] of slack for the MT conversion. *)
+  let assign_period = min_period *. (1.0 +. options.assignment_margin) in
+  let base_cfg = Sta.config ~wire:wire_est ~slew_aware:options.slew_aware ~clock_period () in
+  let assign_cfg =
+    Sta.config ~wire:wire_est ~slew_aware:options.slew_aware ~clock_period:assign_period ()
+  in
+  (* Per-instance output load under a wire model: drives the switching
+     current used for footer sizing. *)
+  let load_with cfg iid =
+    match Netlist.output_net nl iid with
+    | Some out -> Sta.load_of_net cfg nl out
+    | None -> 0.0
+  in
+  let load_est = load_with base_cfg in
+  let snapshot ?(cfg = base_cfg) ?(bounce = 0.0) name =
+    let sta = Sta.analyze cfg nl in
+    let stats = Nl_stats.compute nl in
+    stages :=
+      {
+        stage_name = name;
+        stage_area = stats.Nl_stats.area_total;
+        stage_standby_nw = (Leakage.standby nl).Leakage.total;
+        stage_wns = Sta.wns sta;
+        stage_worst_bounce = bounce;
+        stage_switches = stats.Nl_stats.sleep_switches;
+        stage_holders = stats.Nl_stats.holders;
+      }
+      :: !stages
+  in
+  snapshot "physical-synthesis (all low-Vth)";
+  (* Stage: Dual-Vth-style replacement (all techniques). *)
+  let assign = Vth_assign.assign assign_cfg nl in
+  snapshot "high-Vth replacement";
+  let downsized =
+    if options.gate_sizing then begin
+      let r = Gate_sizing.downsize_idle assign_cfg nl in
+      snapshot "gate sizing (drive-strength recovery)";
+      r.Gate_sizing.resized
+    end
+    else 0
+  in
+  let retained =
+    if options.retention_registers then begin
+      let r = Retention.convert assign_cfg nl in
+      snapshot "retention-register conversion";
+      r.Retention.converted
+    end
+    else 0
+  in
+  (* Technique-specific MT construction. *)
+  let n_mt = ref 0 in
+  let clusters = ref [] in
+  let holders_avoided = ref 0 in
+  let activity = ref None in
+  (match technique with
+  | Dual_vth -> ()
+  | Conventional_smt ->
+    n_mt := Mt_replace.replace Mt_replace.Conventional nl;
+    let mte = Switch_insert.mte_net_of nl in
+    connect_embedded_mte nl mte;
+    snapshot "MT-cell replacement (embedded)"
+  | Improved_smt ->
+    n_mt := Mt_replace.replace Mt_replace.Improved nl;
+    snapshot "MT-cell replacement (no VGND port)";
+    if !n_mt > 0 then begin
+      let ins =
+        Switch_insert.insert ~minimize_holders:options.minimize_holders place
+      in
+      holders_avoided := ins.Switch_insert.holders_avoided;
+      let bounce0 =
+        let wire_length_of sw = Cluster.vgnd_length place sw in
+        Bounce.worst (Bounce.analyze ~load_of:load_est nl ~wire_length_of)
+      in
+      snapshot ~bounce:bounce0 "switch & holder insertion (initial structure)";
+      let act = Activity.estimate ~cycles:options.activity_cycles ~seed:options.seed nl in
+      activity := Some act;
+      let built =
+        Cluster.build ~activity:act ~load_of:load_est ~params place
+          ~mte_net:ins.Switch_insert.mte_net
+      in
+      clusters := built.Cluster.clusters;
+      let bounce1 =
+        let wire_length_of sw = Cluster.vgnd_length place sw in
+        Bounce.worst (Bounce.analyze ~activity:act ~load_of:load_est nl ~wire_length_of)
+      in
+      snapshot ~bounce:bounce1 "switch structure construction (clustering & sizing)"
+    end);
+  (* Routing stage: CTS, then MTE buffering, then extraction. *)
+  let cts = Cts.synthesize ~max_fanout:options.cts_max_fanout place in
+  let mte_buffers =
+    match technique with
+    | Dual_vth -> 0
+    | Conventional_smt | Improved_smt -> (
+      match Netlist.find_net nl "MTE" with
+      | Some mte ->
+        let r = Mte.buffer_tree ?max_fanout:options.mte_max_fanout place ~mte_net:mte in
+        r.Mte.buffers
+      | None -> 0)
+  in
+  let ext = Parasitics.extract ~detour:options.detour place in
+  let wire_ext = Parasitics.wire_model ext nl in
+  let ext_cfg = Sta.config ~wire:wire_ext ~slew_aware:options.slew_aware ~clock_period () in
+  let load_ext = load_with ext_cfg in
+  let routed_vgnd sw = Cluster.vgnd_length place sw *. options.detour in
+  let bounce_reports () =
+    Bounce.analyze ?activity:!activity ~load_of:load_ext
+      ~limit:params.Cluster.bounce_limit nl ~wire_length_of:routed_vgnd
+  in
+  let post_route_cfg bounce_fn =
+    {
+      (Sta.config ~wire:wire_ext ~slew_aware:options.slew_aware ~clock_period ()) with
+      Sta.bounce_of = bounce_fn;
+      Sta.clock_latency = Cts.latency_fn cts;
+      Sta.hold_margin = tech.Tech.hold_margin;
+    }
+  in
+  let bounce_fn_of reports = Bounce.bounce_of_fn reports nl in
+  let reports0 = bounce_reports () in
+  snapshot
+    ~cfg:(post_route_cfg (bounce_fn_of reports0))
+    ~bounce:(Bounce.worst reports0) "routing (CTS, MTE buffering, extraction)";
+  (* Post-route re-optimization of the switch structure. *)
+  (match technique with
+  | Improved_smt when options.reoptimize && !clusters <> [] ->
+    let r =
+      Reopt.reoptimize ?activity:!activity ~load_of:load_ext ~params
+        ~detour:options.detour place
+    in
+    ignore r;
+    let reports = bounce_reports () in
+    snapshot
+      ~cfg:(post_route_cfg (bounce_fn_of reports))
+      ~bounce:(Bounce.worst reports) "post-route switch re-optimization"
+  | Improved_smt | Dual_vth | Conventional_smt -> ());
+  (* ECO: fix hold violations; final timing. *)
+  let final_reports = bounce_reports () in
+  let final_cfg = post_route_cfg (bounce_fn_of final_reports) in
+  let eco = Eco.fix_hold ~max_iterations:options.max_hold_iterations final_cfg place in
+  let final_sta = Sta.analyze final_cfg nl in
+  snapshot ~cfg:final_cfg ~bounce:(Bounce.worst final_reports) "ECO & timing analysis";
+  let stats = Nl_stats.compute nl in
+  let leakage = Leakage.standby nl in
+  {
+    technique;
+    circuit = Netlist.design_name nl;
+    clock_period;
+    area = stats.Nl_stats.area_total;
+    standby_nw = leakage.Leakage.total;
+    leakage;
+    wns = Sta.wns final_sta;
+    hold_slack = Sta.worst_hold_slack final_sta;
+    worst_bounce = Bounce.worst final_reports;
+    bounce_violations = Bounce.violations final_reports;
+    timing_met = Sta.meets_timing final_sta;
+    hold_met = Sta.meets_hold final_sta;
+    n_mt_cells = stats.Nl_stats.count_mt;
+    n_switches = stats.Nl_stats.sleep_switches;
+    n_clusters = List.length !clusters;
+    n_holders = stats.Nl_stats.holders;
+    holders_avoided = !holders_avoided;
+    n_mte_buffers = mte_buffers;
+    n_cts_buffers = Cts.buffer_count cts;
+    n_hold_buffers = eco.Eco.buffers_added;
+    swapped_to_high_vth = assign.Vth_assign.swapped;
+    cells_downsized = downsized;
+    ffs_retained = retained;
+    mt_area_fraction = Nl_stats.mt_area_fraction stats;
+    total_switch_width = stats.Nl_stats.total_switch_width;
+    stages = List.rev !stages;
+  }
+
+let run_all ?options fresh =
+  List.map
+    (fun technique -> run ?options technique (fresh ()))
+    [ Dual_vth; Conventional_smt; Improved_smt ]
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%s on %s: area=%.1f um^2, standby=%.1f nW, wns=%.1f ps (met=%b), hold=%.1f ps \
+     (met=%b), bounce=%.3f V (viol=%d), mt=%d sw=%d holders=%d(+%d avoided) mte_buf=%d \
+     cts_buf=%d eco_buf=%d hv_swaps=%d mt_frac=%.2f"
+    (technique_name r.technique) r.circuit r.area r.standby_nw r.wns r.timing_met
+    r.hold_slack r.hold_met r.worst_bounce r.bounce_violations r.n_mt_cells r.n_switches
+    r.n_holders r.holders_avoided r.n_mte_buffers r.n_cts_buffers r.n_hold_buffers
+    r.swapped_to_high_vth r.mt_area_fraction

@@ -1,0 +1,106 @@
+(** End-to-end design flows for the three techniques of Table 1.
+
+    Every flow starts from the same precondition as the paper's Fig. 4:
+    an all-low-Vth netlist, physically synthesized (placed), whose clock
+    period is chosen so the low-Vth circuit meets timing with a margin.
+    Then:
+
+    - {b Dual-Vth}: high-Vth swap of off-critical cells; CTS; routing;
+      hold ECO. The remaining low-Vth cells leak all through standby —
+      the baseline both Selective-MT styles are normalized against.
+    - {b Conventional Selective-MT}: the low-Vth survivors become embedded
+      MT-cells (private switch + holder each, Fig. 1a); the MTE net is
+      created, connected to every MT-cell, and buffered.
+    - {b Improved Selective-MT}: the survivors become MT-cells without
+      VGND ports, then switch/holder insertion, VGND clustering and switch
+      sizing on pre-route estimates, routing + CTS + MTE buffering,
+      post-route switch re-optimization, and the hold ECO — the paper's
+      full Fig. 4 pipeline.
+
+    [run] mutates the netlist it is given; use [Smt_netlist.Clone.copy] or
+    a generator thunk ([run_all]) to compare techniques on one circuit. *)
+
+type technique = Dual_vth | Conventional_smt | Improved_smt
+
+val technique_name : technique -> string
+
+type options = {
+  seed : int;
+  clock_margin : float;  (** slack margin over the all-low-Vth critical path *)
+  assignment_margin : float;
+      (** margin the Vth assignment is allowed to consume.  Must stay below
+          [clock_margin]: the difference is the timing reserve that absorbs
+          the MT conversion penalty (series footer plus VGND bounce), which
+          is how the paper's replacement stage keeps "the timing
+          specification satisfied" *)
+  utilization : float;
+  placement_iterations : int;
+  activity_cycles : int;
+  cluster_params : Cluster.params option;  (** [None]: technology defaults *)
+  minimize_holders : bool;  (** the all-fanouts-MT holder rule (ablation knob) *)
+  gate_sizing : bool;
+      (** also downsize off-critical cells to weaker drive strengths after
+          the Vth assignment (the sizing half of the Wei et al. baseline);
+          applies to all three techniques *)
+  retention_registers : bool;
+      (** convert slack-rich flip-flops to retention flip-flops, removing
+          the sequential standby-leakage floor (extension; applies to all
+          techniques) *)
+  slew_aware : bool;
+      (** time the whole flow with the NLDM table model and slew
+          propagation instead of the linear model *)
+  reoptimize : bool;  (** post-route switch resizing (ablation knob) *)
+  detour : float;  (** routed/estimated VGND length ratio *)
+  mte_max_fanout : int option;
+  cts_max_fanout : int;
+  max_hold_iterations : int;
+}
+
+val default_options : options
+
+type stage = {
+  stage_name : string;
+  stage_area : float;
+  stage_standby_nw : float;
+  stage_wns : float;
+  stage_worst_bounce : float;
+  stage_switches : int;
+  stage_holders : int;
+}
+
+type report = {
+  technique : technique;
+  circuit : string;
+  clock_period : float;
+  area : float;
+  standby_nw : float;
+  leakage : Smt_power.Leakage.breakdown;
+  wns : float;
+  hold_slack : float;
+  worst_bounce : float;
+  bounce_violations : int;
+  timing_met : bool;
+  hold_met : bool;
+  n_mt_cells : int;
+  n_switches : int;
+  n_clusters : int;
+  n_holders : int;
+  holders_avoided : int;
+  n_mte_buffers : int;
+  n_cts_buffers : int;
+  n_hold_buffers : int;
+  swapped_to_high_vth : int;
+  cells_downsized : int;
+  ffs_retained : int;
+  mt_area_fraction : float;
+  total_switch_width : float;
+  stages : stage list;
+}
+
+val run : ?options:options -> technique -> Smt_netlist.Netlist.t -> report
+
+val run_all : ?options:options -> (unit -> Smt_netlist.Netlist.t) -> report list
+(** One fresh netlist per technique, in order
+    [Dual_vth; Conventional_smt; Improved_smt]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,33 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Vth = Smt_cell.Vth
+module Library = Smt_cell.Library
+
+type style = Conventional | Improved
+
+let target_style = function
+  | Conventional -> Vth.Mt_embedded
+  | Improved -> Vth.Mt_no_vgnd
+
+let replace_matching ~also_high_vth style nl =
+  let lib = Netlist.lib nl in
+  let mt = target_style style in
+  let count = ref 0 in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      if
+        c.Cell.style = Vth.Plain
+        && (c.Cell.vth = Vth.Low || also_high_vth)
+        && Library.has_variant ~drive:c.Cell.drive lib c.Cell.kind Vth.Low mt
+      then begin
+        Netlist.replace_cell nl iid
+          (Library.variant ~drive:c.Cell.drive lib c.Cell.kind Vth.Low mt);
+        incr count
+      end);
+  !count
+
+let replace style nl = replace_matching ~also_high_vth:false style nl
+let replace_all style nl = replace_matching ~also_high_vth:true style nl
+
+let mt_cells nl =
+  List.filter (fun iid -> Cell.is_mt (Netlist.cell nl iid)) (Netlist.live_insts nl)

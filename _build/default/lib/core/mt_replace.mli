@@ -1,0 +1,24 @@
+(** Replacement of the surviving low-Vth cells by MT-cells.
+
+    After Dual-Vth assignment, the cells still at low-Vth are the critical
+    ones.  The conventional Selective-MT flow replaces them with embedded
+    MT-cells (own switch and holder, Fig. 1a); the improved flow replaces
+    them with MT-cells {e without VGND ports} (the paper's intermediate
+    cell: same timing, no switch yet), to be given ports and shared
+    switches at insertion time. *)
+
+type style = Conventional | Improved
+
+val replace : style -> Smt_netlist.Netlist.t -> int
+(** Swap every plain low-Vth combinational cell to its MT variant; returns
+    the number replaced. Flip-flops and infrastructure cells are left
+    alone (state-holding cells stay on the true rails). *)
+
+val replace_all : style -> Smt_netlist.Netlist.t -> int
+(** The all-MT strawman: convert {e every} plain combinational cell,
+    high-Vth included, to the MT variant. Used as a comparison point —
+    it minimizes logic leakage but gates logic that had no leakage problem,
+    paying area, holders, and wake-up cost for it. *)
+
+val mt_cells : Smt_netlist.Netlist.t -> Smt_netlist.Netlist.inst_id list
+(** Live MT-cells of any style. *)

@@ -1,0 +1,26 @@
+(** Buffering of the MT-enable (MTE) net.
+
+    "The MT enable signal MTE has many fanouts, as MTE is necessary to be
+    connected to all switch transistors and output holders.  So, buffers
+    need to be inserted to the MTE net appropriately."  Buffers are
+    high-Vth (they must not leak in standby), built bottom-up by geometric
+    grouping with a per-stage fanout cap, and placed at group centroids. *)
+
+type result = {
+  buffers : int;
+  area : float;
+  levels : int;
+  root_fanout : int;  (** loads left on the MTE port net itself *)
+}
+
+val buffer_tree :
+  ?max_fanout:int ->
+  Smt_place.Placement.t ->
+  mte_net:Smt_netlist.Netlist.net_id ->
+  result
+(** Mutates netlist and placement. Default fanout cap comes from the
+    technology ([mte_max_fanout]). A net already within the cap is left
+    untouched. *)
+
+val max_stage_fanout : Smt_netlist.Netlist.t -> Smt_netlist.Netlist.net_id -> int
+(** Worst fanout over the MTE net and every [mtebuf] stage under it. *)

@@ -1,0 +1,78 @@
+module Netlist = Smt_netlist.Netlist
+module Placement = Smt_place.Placement
+module Cell = Smt_cell.Cell
+module Library = Smt_cell.Library
+module Bounce = Smt_power.Bounce
+
+type adjustment = {
+  switch : Netlist.inst_id;
+  old_width : float;
+  new_width : float;
+  routed_length : float;
+  bounce_before : float;
+  bounce_after : float;
+}
+
+type result = {
+  adjustments : adjustment list;
+  resized : int;
+  violations_before : int;
+  violations_after : int;
+}
+
+let reoptimize ?activity ?load_of ?params ?(detour = 1.15) ?length_of place =
+  let nl = Placement.netlist place in
+  let lib = Netlist.lib nl in
+  let tech = Library.tech lib in
+  let p = match params with Some p -> p | None -> Cluster.default_params tech in
+  let adjustments =
+    List.map
+      (fun sw ->
+        let members = Netlist.switch_members nl sw in
+        let routed_length =
+          match length_of with
+          | Some f -> f sw
+          | None -> Cluster.vgnd_length place sw *. detour
+        in
+        let current =
+          if p.Cluster.diversity then Bounce.simultaneous_current ?activity ?load_of nl ~members
+          else
+            List.fold_left
+              (fun acc iid -> acc +. (Netlist.cell nl iid).Cell.peak_current)
+              0.0 members
+        in
+        let old_width = (Netlist.cell nl sw).Cell.switch_width in
+        let bounce_before =
+          Bounce.bounce_v tech ~switch_width:old_width ~wire_length:routed_length
+            ~current_ua:current
+        in
+        let new_width =
+          match Cluster.required_width tech p ~current_ua:current ~wire_length:routed_length with
+          | Some w -> w
+          | None -> old_width (* wire alone blows the budget; keep and report *)
+        in
+        let quantized = (Library.switch lib ~width:new_width).Cell.switch_width in
+        if Float.abs (quantized -. old_width) > 0.0 then
+          Netlist.replace_cell nl sw (Library.switch lib ~width:new_width);
+        let final_width = (Netlist.cell nl sw).Cell.switch_width in
+        let bounce_after =
+          Bounce.bounce_v tech ~switch_width:final_width ~wire_length:routed_length
+            ~current_ua:current
+        in
+        {
+          switch = sw;
+          old_width;
+          new_width = final_width;
+          routed_length;
+          bounce_before;
+          bounce_after;
+        })
+      (Netlist.switches nl)
+  in
+  let count f = List.length (List.filter f adjustments) in
+  {
+    adjustments;
+    resized = count (fun a -> Float.abs (a.new_width -. a.old_width) > 1e-9);
+    violations_before = count (fun a -> a.bounce_before > p.Cluster.bounce_limit +. 1e-12);
+    violations_after = count (fun a -> a.bounce_after > p.Cluster.bounce_limit +. 1e-12);
+  }

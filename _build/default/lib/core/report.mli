@@ -1,0 +1,20 @@
+(** Human-readable sign-off reports (timing, power, area).
+
+    The text formats follow the conventions of commercial sign-off tools:
+    a timing report lists the worst endpoints with a per-stage breakdown of
+    the worst path into each; the power report splits standby leakage by
+    contributor; the area report splits by cell category and names the
+    heaviest cell kinds. *)
+
+val timing : ?paths:int -> Smt_sta.Sta.t -> string
+(** Worst [paths] endpoints (default 3), each with its launch-to-capture
+    path: per-stage instance, cell, incremental delay and arrival. *)
+
+val power : Smt_netlist.Netlist.t -> string
+(** Standby leakage breakdown, with each contributor's share. *)
+
+val area : Smt_netlist.Netlist.t -> string
+(** Area by category plus the top cell kinds by total area. *)
+
+val summary : Smt_sta.Sta.t -> string
+(** One-paragraph health check: WNS/TNS/hold, endpoint count. *)

@@ -1,0 +1,100 @@
+module Leakage = Smt_power.Leakage
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = Printf.sprintf "\"%s\"" (escape s)
+let num f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+let boolean b = if b then "true" else "false"
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let leakage_json (l : Leakage.breakdown) =
+  obj
+    [
+      ("total", num l.Leakage.total);
+      ("low_vth_logic", num l.Leakage.low_vth_logic);
+      ("high_vth_logic", num l.Leakage.high_vth_logic);
+      ("sequential", num l.Leakage.sequential);
+      ("mt_residual", num l.Leakage.mt_residual);
+      ("switches", num l.Leakage.switches);
+      ("embedded_mt", num l.Leakage.embedded_mt);
+      ("holders", num l.Leakage.holders);
+      ("infrastructure", num l.Leakage.infrastructure);
+    ]
+
+let stage_json (s : Flow.stage) =
+  obj
+    [
+      ("name", str s.Flow.stage_name);
+      ("area", num s.Flow.stage_area);
+      ("standby_nw", num s.Flow.stage_standby_nw);
+      ("wns_ps", num s.Flow.stage_wns);
+      ("worst_bounce_v", num s.Flow.stage_worst_bounce);
+      ("switches", string_of_int s.Flow.stage_switches);
+      ("holders", string_of_int s.Flow.stage_holders);
+    ]
+
+let of_report (r : Flow.report) =
+  obj
+    [
+      ("technique", str (Flow.technique_name r.Flow.technique));
+      ("circuit", str r.Flow.circuit);
+      ("clock_period_ps", num r.Flow.clock_period);
+      ("area_um2", num r.Flow.area);
+      ("standby_nw", num r.Flow.standby_nw);
+      ("leakage", leakage_json r.Flow.leakage);
+      ("wns_ps", num r.Flow.wns);
+      ("hold_slack_ps", num r.Flow.hold_slack);
+      ("worst_bounce_v", num r.Flow.worst_bounce);
+      ("bounce_violations", string_of_int r.Flow.bounce_violations);
+      ("timing_met", boolean r.Flow.timing_met);
+      ("hold_met", boolean r.Flow.hold_met);
+      ("mt_cells", string_of_int r.Flow.n_mt_cells);
+      ("switches", string_of_int r.Flow.n_switches);
+      ("clusters", string_of_int r.Flow.n_clusters);
+      ("holders", string_of_int r.Flow.n_holders);
+      ("holders_avoided", string_of_int r.Flow.holders_avoided);
+      ("mte_buffers", string_of_int r.Flow.n_mte_buffers);
+      ("cts_buffers", string_of_int r.Flow.n_cts_buffers);
+      ("hold_buffers", string_of_int r.Flow.n_hold_buffers);
+      ("high_vth_swaps", string_of_int r.Flow.swapped_to_high_vth);
+      ("cells_downsized", string_of_int r.Flow.cells_downsized);
+      ("ffs_retained", string_of_int r.Flow.ffs_retained);
+      ("mt_area_fraction", num r.Flow.mt_area_fraction);
+      ("total_switch_width", num r.Flow.total_switch_width);
+      ("stages", arr (List.map stage_json r.Flow.stages));
+    ]
+
+let entry_json (e : Compare.entry) =
+  obj
+    [
+      ("technique", str (Flow.technique_name e.Compare.technique));
+      ("area_pct", num e.Compare.area_pct);
+      ("leakage_pct", num e.Compare.leakage_pct);
+      ("report", of_report e.Compare.report);
+    ]
+
+let of_rows rows =
+  arr
+    (List.map
+       (fun (row : Compare.row) ->
+         obj
+           [
+             ("circuit", str row.Compare.circuit);
+             ("entries", arr (List.map entry_json row.Compare.entries));
+           ])
+       rows)

@@ -1,0 +1,11 @@
+(** Machine-readable (JSON) serialization of flow reports.
+
+    For dashboards and regression tracking: one object per flow report
+    (including per-stage metrics and the leakage breakdown), or a Table-1
+    comparison as an array of rows.  Hand-rolled emitter, no dependencies;
+    output is valid JSON. *)
+
+val of_report : Flow.report -> string
+
+val of_rows : Compare.row list -> string
+(** The Table-1 comparison as JSON. *)

@@ -1,0 +1,20 @@
+(** Retention-register conversion (extension).
+
+    The Selective-MT technique only gates combinational logic: flip-flops
+    must keep their state and stay on the true rails, so low-Vth flip-flops
+    on critical paths remain a standby leakage floor in every flow.
+    Balloon-style retention flip-flops remove that floor at an area and
+    clk->q cost; this pass converts every flip-flop whose slack covers the
+    penalty, largest leakage saving first, with the same batch-and-rollback
+    discipline as the Vth assignment. *)
+
+type result = {
+  converted : int;
+  sta : Smt_sta.Sta.t;
+}
+
+val convert :
+  ?safety:float -> Smt_sta.Sta.config -> Smt_netlist.Netlist.t -> result
+(** Mutates the netlist; timing is preserved ([safety] defaults to 1.5). *)
+
+val retention_registers : Smt_netlist.Netlist.t -> Smt_netlist.Netlist.inst_id list

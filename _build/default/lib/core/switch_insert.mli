@@ -1,0 +1,37 @@
+(** Switch-transistor and output-holder insertion (improved flow).
+
+    Implements the paper's insertion stage verbatim: every MT-cell without
+    a VGND port is replaced by the variant with one; {e one} switch
+    transistor is added and every VGND port is connected to its drain,
+    forming the initial switch structure that the clustering optimizer
+    will replace; output holders are inserted only on nets that need them —
+    "when all fanouts of the MT-cell are connected to MT-cells, an output
+    holder is unnecessary".
+
+    The MTE enable signal becomes a primary input driving the switch and
+    every holder (buffering comes later, with routing). *)
+
+type result = {
+  initial_switch : Smt_netlist.Netlist.inst_id;
+  holders_inserted : int;
+  holders_avoided : int;  (** MT-driven nets that needed no holder *)
+  mte_net : Smt_netlist.Netlist.net_id;
+}
+
+val insert :
+  ?minimize_holders:bool ->
+  ?initial_width:float ->
+  Smt_place.Placement.t ->
+  result
+(** Mutates the netlist and places the new cells. [minimize_holders]
+    (default true) applies the all-fanouts-MT rule; switching it off
+    instantiates a holder on every MT-driven net, the conventional
+    behaviour, for the ablation. [initial_width] (default 10.) sizes the
+    temporary single switch. Raises [Invalid_argument] if the netlist has
+    no MT-cells awaiting ports. *)
+
+val mte_sinks : Smt_netlist.Netlist.t -> Smt_netlist.Netlist.net_id -> Smt_netlist.Netlist.pin list
+(** All pins on the MTE net (switches, holders, buffers). *)
+
+val mte_net_of : Smt_netlist.Netlist.t -> Smt_netlist.Netlist.net_id
+(** The design's MTE primary input, created on first use. *)

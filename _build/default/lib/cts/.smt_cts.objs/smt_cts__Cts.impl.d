@@ -1,0 +1,1 @@
+lib/cts/cts.ml: Float Hashtbl List Smt_cell Smt_netlist Smt_place Smt_util

@@ -1,0 +1,1 @@
+lib/cts/cts.mli: Smt_netlist Smt_place

@@ -1,0 +1,31 @@
+(** Clock tree synthesis by recursive geometric bisection.
+
+    Flip-flop clock pins are grouped geometrically; each group of at most
+    [max_fanout] sinks gets a clock buffer at its centroid, and groups are
+    merged bottom-up until a single root buffer hangs from the clock port.
+    The tree is materialized in the netlist (CLKBUF instances on fresh
+    clock-marked nets) and placed, and per-flip-flop insertion latency is
+    computed from buffer delays plus wire RC.
+
+    The resulting latency function feeds STA ([Sta.config.clock_latency]);
+    the residual skew is what creates the hold violations the ECO stage
+    then repairs — the paper's "fixing the hold violation" step. *)
+
+type t
+
+val synthesize : ?max_fanout:int -> Smt_place.Placement.t -> t
+(** Builds and places the tree, rewiring every flip-flop CK pin. Designs
+    without a clock net or without flip-flops yield an empty tree.
+    Default [max_fanout] is 8. *)
+
+val buffer_count : t -> int
+val levels : t -> int
+val buffer_area : t -> float
+
+val latency : t -> Smt_netlist.Netlist.inst_id -> float
+(** Insertion delay to the flip-flop's CK pin (0 for unknown instances). *)
+
+val latency_fn : t -> Smt_netlist.Netlist.inst_id -> float
+val max_latency : t -> float
+val min_latency : t -> float
+val skew : t -> float

@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Array List Netlist Printf Smt_cell String

@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array List Netlist Printf Smt_cell

@@ -1,0 +1,1 @@
+lib/netlist/clone.ml: Netlist Parser Writer

@@ -1,0 +1,1 @@
+lib/netlist/clone.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/compose.ml: Hashtbl List Netlist String

@@ -1,0 +1,1 @@
+lib/netlist/compose.mli: Netlist

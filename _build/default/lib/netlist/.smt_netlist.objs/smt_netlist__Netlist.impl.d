@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Hashtbl List Printf Queue Smt_cell Smt_util String

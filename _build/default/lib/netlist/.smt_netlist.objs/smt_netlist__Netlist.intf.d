@@ -1,0 +1,1 @@
+lib/netlist/netlist.mli: Smt_cell

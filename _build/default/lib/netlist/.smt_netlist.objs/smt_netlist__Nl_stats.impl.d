@@ -1,0 +1,1 @@
+lib/netlist/nl_stats.ml: Format Netlist Smt_cell

@@ -1,0 +1,1 @@
+lib/netlist/nl_stats.mli: Format Netlist

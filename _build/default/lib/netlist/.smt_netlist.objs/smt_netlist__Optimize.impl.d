@@ -1,0 +1,1 @@
+lib/netlist/optimize.ml: List Netlist Smt_cell String

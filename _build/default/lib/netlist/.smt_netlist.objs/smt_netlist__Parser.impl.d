@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Fun List Netlist Printf Smt_cell String

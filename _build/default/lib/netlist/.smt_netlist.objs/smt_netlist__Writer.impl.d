@@ -1,0 +1,1 @@
+lib/netlist/writer.ml: Buffer Fun List Netlist Printf Smt_cell String

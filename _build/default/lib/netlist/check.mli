@@ -1,0 +1,22 @@
+(** Structural validation of a netlist.
+
+    [validate] returns human-readable problems (empty list means the
+    netlist is well-formed).  The MT-specific rules implement the paper's
+    invariants: after switch insertion every VGND-port MT-cell must hang
+    from a sleep switch, and every net driven by an MT-cell whose value
+    must survive standby (i.e. with at least one non-MT sink) must carry an
+    output holder. *)
+
+type phase =
+  | Pre_mt  (** before switch insertion: no VGND connections expected *)
+  | Post_mt  (** after switch insertion: VGND and holder rules enforced *)
+
+val validate : ?phase:phase -> Netlist.t -> string list
+
+val is_valid : ?phase:phase -> Netlist.t -> bool
+
+val holder_required : Netlist.t -> Netlist.net_id -> bool
+(** The paper's rule: an output holder is unnecessary exactly when all
+    fanouts of the MT-cell are themselves MT-cells (their inputs float
+    together in standby). Primary outputs and flip-flop/holder-free sinks
+    need the value held. Returns false for nets not driven by an MT-cell. *)

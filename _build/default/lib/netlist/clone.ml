@@ -1,0 +1,1 @@
+let copy nl = Parser.of_string ~lib:(Netlist.lib nl) (Writer.to_string nl)

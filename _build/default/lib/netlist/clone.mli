@@ -1,0 +1,9 @@
+(** Deep copy of a netlist.
+
+    Implemented as a round-trip through {!Writer} and {!Parser}, which both
+    exercises the serialization path and guarantees the clone carries
+    exactly the information the dump format defines (connectivity, ports,
+    clock marking, VGND attachments). Placement is not part of a netlist
+    and is not cloned. *)
+
+val copy : Netlist.t -> Netlist.t

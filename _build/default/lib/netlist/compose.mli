@@ -1,0 +1,11 @@
+(** Flat composition of blocks into one top-level netlist.
+
+    Each sub-block's ports and instances are prefixed with its block name;
+    clock inputs are unified into a single top-level ["clk"] so the blocks
+    share one clock domain (the flow then builds one tree over all of
+    them).  VGND attachments and holders survive the copy, so composed
+    blocks can already carry their MT structure. *)
+
+val merge : name:string -> (string * Netlist.t) list -> Netlist.t
+(** [merge ~name blocks] with [(prefix, netlist)] pairs. Prefixes must be
+    unique and non-empty; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,406 @@
+module Vec = Smt_util.Vec
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+module Library = Smt_cell.Library
+
+type inst_id = int
+type net_id = int
+
+type pin = { inst : inst_id; pin_name : string }
+
+type net = {
+  net_name : string;
+  mutable driver : pin option;
+  mutable n_is_pi : bool;
+  mutable n_is_po : bool;
+  mutable n_is_clock : bool;
+  mutable sinks : pin list;
+  mutable holder : inst_id option;
+}
+
+type instance = {
+  i_name : string;
+  mutable i_cell : Cell.t;
+  mutable i_conns : (string * net_id) list;
+  mutable i_vgnd : inst_id option;
+  mutable i_dead : bool;
+}
+
+type t = {
+  d_name : string;
+  d_lib : Library.t;
+  insts : instance Vec.t;
+  nets : net Vec.t;
+  net_index : (string, net_id) Hashtbl.t;
+  inst_index : (string, inst_id) Hashtbl.t;
+  mutable ports_in : (string * net_id) list;
+  mutable ports_out : (string * net_id) list;
+  mutable clock : net_id option;
+  mutable uniq : int;
+}
+
+exception Combinational_cycle of string
+
+let create ~name ~lib =
+  {
+    d_name = name;
+    d_lib = lib;
+    insts = Vec.create ();
+    nets = Vec.create ();
+    net_index = Hashtbl.create 997;
+    inst_index = Hashtbl.create 997;
+    ports_in = [];
+    ports_out = [];
+    clock = None;
+    uniq = 0;
+  }
+
+let design_name t = t.d_name
+let lib t = t.d_lib
+
+(* --- nets --- *)
+
+let add_net ?(clock = false) t name =
+  if Hashtbl.mem t.net_index name then
+    invalid_arg (Printf.sprintf "Netlist.add_net: duplicate net %s" name);
+  let id =
+    Vec.push t.nets
+      {
+        net_name = name;
+        driver = None;
+        n_is_pi = false;
+        n_is_po = false;
+        n_is_clock = clock;
+        sinks = [];
+        holder = None;
+      }
+  in
+  Hashtbl.add t.net_index name id;
+  if clock && t.clock = None then t.clock <- Some id;
+  id
+
+let fresh_net t stem =
+  let rec try_name () =
+    t.uniq <- t.uniq + 1;
+    let name = Printf.sprintf "%s_%d" stem t.uniq in
+    if Hashtbl.mem t.net_index name then try_name () else name
+  in
+  add_net t (try_name ())
+
+let add_input ?(clock = false) t name =
+  let id = add_net ~clock t name in
+  (Vec.get t.nets id).n_is_pi <- true;
+  t.ports_in <- t.ports_in @ [ (name, id) ];
+  id
+
+let add_output t name =
+  let id = add_net t name in
+  (Vec.get t.nets id).n_is_po <- true;
+  t.ports_out <- t.ports_out @ [ (name, id) ];
+  id
+
+let mark_output t nid =
+  let n = Vec.get t.nets nid in
+  if not n.n_is_po then begin
+    n.n_is_po <- true;
+    t.ports_out <- t.ports_out @ [ (n.net_name, nid) ]
+  end
+
+let mark_clock t nid =
+  let n = Vec.get t.nets nid in
+  n.n_is_clock <- true;
+  if t.clock = None then t.clock <- Some nid
+
+let net_count t = Vec.length t.nets
+let net_name t nid = (Vec.get t.nets nid).net_name
+let find_net t name = Hashtbl.find_opt t.net_index name
+let is_pi t nid = (Vec.get t.nets nid).n_is_pi
+let is_po t nid = (Vec.get t.nets nid).n_is_po
+let is_clock_net t nid = (Vec.get t.nets nid).n_is_clock
+let driver t nid = (Vec.get t.nets nid).driver
+let sinks t nid = (Vec.get t.nets nid).sinks
+let holder_of t nid = (Vec.get t.nets nid).holder
+let inputs t = t.ports_in
+let outputs t = t.ports_out
+let clock_net t = t.clock
+
+(* --- pin directions --- *)
+
+type dir = Dir_in | Dir_out | Dir_holder_z
+
+let pin_dir (cell : Cell.t) pin_name =
+  let outs = Func.output_names cell.Cell.kind in
+  if Array.exists (String.equal pin_name) outs then Dir_out
+  else if String.equal pin_name "MTE" && Vth.style_equal cell.Cell.style Vth.Mt_embedded then
+    (* conventional MT-cells carry their own switch, controlled by MTE *)
+    Dir_in
+  else
+    match cell.Cell.kind with
+    | Func.Holder when String.equal pin_name "Z" -> Dir_holder_z
+    | Func.Holder when String.equal pin_name "MTE" -> Dir_in
+    | Func.Sleep_switch when String.equal pin_name "MTE" -> Dir_in
+    | Func.Dff when String.equal pin_name "CK" -> Dir_in
+    | k ->
+      let ins = Func.input_names k in
+      if Array.exists (String.equal pin_name) ins then Dir_in
+      else
+        invalid_arg
+          (Printf.sprintf "Netlist: cell %s has no pin %s" cell.Cell.name pin_name)
+
+(* --- instances --- *)
+
+let inst_count t = Vec.length t.insts
+let inst_name t iid = (Vec.get t.insts iid).i_name
+let find_inst t name = Hashtbl.find_opt t.inst_index name
+let cell t iid = (Vec.get t.insts iid).i_cell
+let conns t iid = (Vec.get t.insts iid).i_conns
+let is_dead t iid = (Vec.get t.insts iid).i_dead
+
+let pin_net t iid pin_name =
+  List.assoc_opt pin_name (Vec.get t.insts iid).i_conns
+
+let output_net t iid =
+  let inst = Vec.get t.insts iid in
+  match Func.output_names inst.i_cell.Cell.kind with
+  | [||] -> None
+  | outs -> List.assoc_opt outs.(0) inst.i_conns
+
+let attach t iid pin_name nid =
+  let inst = Vec.get t.insts iid in
+  let n = Vec.get t.nets nid in
+  match pin_dir inst.i_cell pin_name with
+  | Dir_out ->
+    (match n.driver with
+    | Some p when not (Vec.get t.insts p.inst).i_dead ->
+      invalid_arg
+        (Printf.sprintf "Netlist: net %s already driven by %s.%s" n.net_name
+           (Vec.get t.insts p.inst).i_name p.pin_name)
+    | Some _ | None ->
+      if n.n_is_pi then
+        invalid_arg (Printf.sprintf "Netlist: net %s is a primary input" n.net_name);
+      n.driver <- Some { inst = iid; pin_name })
+  | Dir_in -> n.sinks <- { inst = iid; pin_name } :: n.sinks
+  | Dir_holder_z -> n.holder <- Some iid
+
+let detach t iid pin_name nid =
+  let inst = Vec.get t.insts iid in
+  let n = Vec.get t.nets nid in
+  match pin_dir inst.i_cell pin_name with
+  | Dir_out -> (
+    match n.driver with
+    | Some p when p.inst = iid && String.equal p.pin_name pin_name -> n.driver <- None
+    | Some _ | None -> ())
+  | Dir_in ->
+    n.sinks <-
+      List.filter (fun p -> not (p.inst = iid && String.equal p.pin_name pin_name)) n.sinks
+  | Dir_holder_z -> if n.holder = Some iid then n.holder <- None
+
+let add_inst t ~name cell pins =
+  if Hashtbl.mem t.inst_index name then
+    invalid_arg (Printf.sprintf "Netlist.add_inst: duplicate instance %s" name);
+  let iid =
+    Vec.push t.insts
+      { i_name = name; i_cell = cell; i_conns = []; i_vgnd = None; i_dead = false }
+  in
+  Hashtbl.add t.inst_index name iid;
+  let add_pin (pin_name, nid) =
+    let inst = Vec.get t.insts iid in
+    if List.mem_assoc pin_name inst.i_conns then
+      invalid_arg (Printf.sprintf "Netlist: duplicate pin %s on %s" pin_name name);
+    attach t iid pin_name nid;
+    inst.i_conns <- inst.i_conns @ [ (pin_name, nid) ]
+  in
+  List.iter add_pin pins;
+  iid
+
+let fresh_inst_name t stem =
+  let rec try_name () =
+    t.uniq <- t.uniq + 1;
+    let name = Printf.sprintf "%s_%d" stem t.uniq in
+    if Hashtbl.mem t.inst_index name then try_name () else name
+  in
+  try_name ()
+
+let replace_cell t iid new_cell =
+  let inst = Vec.get t.insts iid in
+  let same_pins =
+    List.for_all
+      (fun (p, _) ->
+        match pin_dir new_cell p with
+        | Dir_in | Dir_out | Dir_holder_z -> true
+        | exception Invalid_argument _ -> false)
+      inst.i_conns
+  in
+  if not same_pins then
+    invalid_arg
+      (Printf.sprintf "Netlist.replace_cell: %s -> %s changes pin interface"
+         inst.i_cell.Cell.name new_cell.Cell.name);
+  inst.i_cell <- new_cell
+
+let connect t iid pin_name nid =
+  let inst = Vec.get t.insts iid in
+  (match List.assoc_opt pin_name inst.i_conns with
+  | Some old -> detach t iid pin_name old
+  | None -> ());
+  attach t iid pin_name nid;
+  inst.i_conns <- (pin_name, nid) :: List.remove_assoc pin_name inst.i_conns
+
+let disconnect t iid pin_name =
+  let inst = Vec.get t.insts iid in
+  match List.assoc_opt pin_name inst.i_conns with
+  | None -> ()
+  | Some nid ->
+    detach t iid pin_name nid;
+    inst.i_conns <- List.remove_assoc pin_name inst.i_conns
+
+let move_sink t ~from_net pin ~to_net =
+  let n_from = Vec.get t.nets from_net in
+  if not (List.exists (fun p -> p.inst = pin.inst && String.equal p.pin_name pin.pin_name) n_from.sinks)
+  then
+    invalid_arg
+      (Printf.sprintf "Netlist.move_sink: %s.%s is not a sink of %s"
+         (inst_name t pin.inst) pin.pin_name n_from.net_name);
+  connect t pin.inst pin.pin_name to_net
+
+let remove_inst t iid =
+  let inst = Vec.get t.insts iid in
+  if not inst.i_dead then begin
+    List.iter (fun (p, nid) -> detach t iid p nid) inst.i_conns;
+    inst.i_conns <- [];
+    inst.i_vgnd <- None;
+    inst.i_dead <- true;
+    Hashtbl.remove t.inst_index inst.i_name
+  end
+
+let set_vgnd_switch t iid sw =
+  let inst = Vec.get t.insts iid in
+  (match inst.i_cell.Cell.style with
+  | Vth.Mt_vgnd -> ()
+  | Vth.Plain | Vth.Mt_embedded | Vth.Mt_no_vgnd ->
+    invalid_arg
+      (Printf.sprintf "Netlist.set_vgnd_switch: %s has no VGND port (%s)" inst.i_name
+         (Vth.style_to_string inst.i_cell.Cell.style)));
+  (match sw with
+  | Some sw_id ->
+    let sw_inst = Vec.get t.insts sw_id in
+    (match sw_inst.i_cell.Cell.kind with
+    | Func.Sleep_switch -> ()
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "Netlist.set_vgnd_switch: %s is not a sleep switch" sw_inst.i_name))
+  | None -> ());
+  inst.i_vgnd <- sw
+
+let vgnd_switch t iid = (Vec.get t.insts iid).i_vgnd
+
+let set_holder t nid h = (Vec.get t.nets nid).holder <- h
+
+(* --- traversal --- *)
+
+let live_insts t =
+  let acc = ref [] in
+  Vec.iteri (fun i inst -> if not inst.i_dead then acc := i :: !acc) t.insts;
+  List.rev !acc
+
+let iter_insts t f = Vec.iteri (fun i inst -> if not inst.i_dead then f i) t.insts
+
+let iter_nets t f = Vec.iteri (fun i _ -> f i) t.nets
+
+let fanout_insts t iid =
+  match output_net t iid with
+  | None -> []
+  | Some nid ->
+    (Vec.get t.nets nid).sinks
+    |> List.map (fun p -> p.inst)
+    |> List.sort_uniq compare
+
+let fanin_insts t iid =
+  let inst = Vec.get t.insts iid in
+  inst.i_conns
+  |> List.filter_map (fun (pin_name, nid) ->
+         match pin_dir inst.i_cell pin_name with
+         | Dir_in -> (
+           match (Vec.get t.nets nid).driver with Some p -> Some p.inst | None -> None)
+         | Dir_out | Dir_holder_z -> None)
+  |> List.sort_uniq compare
+
+let is_comb_kind kind =
+  (not (Func.is_sequential kind)) && not (Func.is_infrastructure kind)
+
+let topo_order t =
+  (* Kahn levelization over the combinational frame: flip-flop outputs and
+     primary inputs are sources; flip-flop inputs and primary outputs are
+     sinks.  Remaining instances at the end expose a combinational cycle. *)
+  let n = Vec.length t.insts in
+  let pending = Array.make n 0 in
+  let comb = Array.make n false in
+  Vec.iteri
+    (fun i inst ->
+      if (not inst.i_dead) && is_comb_kind inst.i_cell.Cell.kind then begin
+        comb.(i) <- true;
+        let deps =
+          List.fold_left
+            (fun acc (pin_name, nid) ->
+              match pin_dir inst.i_cell pin_name with
+              | Dir_in -> (
+                match (Vec.get t.nets nid).driver with
+                | Some p ->
+                  let d = Vec.get t.insts p.inst in
+                  if (not d.i_dead) && is_comb_kind d.i_cell.Cell.kind then acc + 1 else acc
+                | None -> acc)
+              | Dir_out | Dir_holder_z -> acc)
+            0 inst.i_conns
+        in
+        pending.(i) <- deps
+      end)
+    t.insts;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if comb.(i) && pending.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr seen;
+    (match output_net t i with
+    | None -> ()
+    | Some nid ->
+      List.iter
+        (fun p ->
+          if comb.(p.inst) then begin
+            pending.(p.inst) <- pending.(p.inst) - 1;
+            if pending.(p.inst) = 0 then Queue.add p.inst queue
+          end)
+        (Vec.get t.nets nid).sinks)
+  done;
+  let total = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 comb in
+  if !seen <> total then begin
+    let stuck = ref "" in
+    for i = 0 to n - 1 do
+      if comb.(i) && pending.(i) > 0 && String.equal !stuck "" then
+        stuck := (Vec.get t.insts i).i_name
+    done;
+    raise (Combinational_cycle !stuck)
+  end;
+  List.rev !order
+
+let switch_members t sw_id =
+  let acc = ref [] in
+  Vec.iteri
+    (fun i inst -> if (not inst.i_dead) && inst.i_vgnd = Some sw_id then acc := i :: !acc)
+    t.insts;
+  List.rev !acc
+
+let switches t =
+  let acc = ref [] in
+  Vec.iteri
+    (fun i inst ->
+      if (not inst.i_dead) && inst.i_cell.Cell.kind = Func.Sleep_switch then acc := i :: !acc)
+    t.insts;
+  List.rev !acc
+
+let total_area t =
+  Vec.fold (fun acc inst -> if inst.i_dead then acc else acc +. inst.i_cell.Cell.area) 0.0 t.insts

@@ -1,0 +1,102 @@
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+
+type t = {
+  instances : int;
+  nets : int;
+  combinational : int;
+  sequential : int;
+  sleep_switches : int;
+  holders : int;
+  count_low_vth : int;
+  count_high_vth : int;
+  count_mt : int;
+  area_total : float;
+  area_logic : float;
+  area_mt_cells : float;
+  area_switches : float;
+  area_holders : float;
+  total_switch_width : float;
+}
+
+let zero =
+  {
+    instances = 0;
+    nets = 0;
+    combinational = 0;
+    sequential = 0;
+    sleep_switches = 0;
+    holders = 0;
+    count_low_vth = 0;
+    count_high_vth = 0;
+    count_mt = 0;
+    area_total = 0.0;
+    area_logic = 0.0;
+    area_mt_cells = 0.0;
+    area_switches = 0.0;
+    area_holders = 0.0;
+    total_switch_width = 0.0;
+  }
+
+let compute nl =
+  let acc = ref { zero with nets = Netlist.net_count nl } in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      let s = !acc in
+      let s = { s with instances = s.instances + 1; area_total = s.area_total +. c.Cell.area } in
+      let s =
+        match c.Cell.kind with
+        | Func.Sleep_switch ->
+          {
+            s with
+            sleep_switches = s.sleep_switches + 1;
+            area_switches = s.area_switches +. c.Cell.area;
+            total_switch_width = s.total_switch_width +. c.Cell.switch_width;
+          }
+        | Func.Holder ->
+          { s with holders = s.holders + 1; area_holders = s.area_holders +. c.Cell.area }
+        | Func.Dff ->
+          {
+            s with
+            sequential = s.sequential + 1;
+            area_logic = s.area_logic +. c.Cell.area;
+            count_low_vth = (if c.Cell.vth = Vth.Low then s.count_low_vth + 1 else s.count_low_vth);
+            count_high_vth =
+              (if c.Cell.vth = Vth.High then s.count_high_vth + 1 else s.count_high_vth);
+          }
+        | Func.Inv | Func.Buf | Func.Clkbuf | Func.Nand2 | Func.Nand3 | Func.Nand4
+        | Func.Nor2 | Func.Nor3 | Func.And2 | Func.And3 | Func.Or2 | Func.Or3
+        | Func.Xor2 | Func.Xnor2 | Func.Aoi21 | Func.Oai21 | Func.Mux2 ->
+          let s = { s with combinational = s.combinational + 1 } in
+          if Cell.is_mt c then
+            {
+              s with
+              count_mt = s.count_mt + 1;
+              area_mt_cells = s.area_mt_cells +. c.Cell.area;
+              total_switch_width = s.total_switch_width +. c.Cell.switch_width;
+            }
+          else
+            {
+              s with
+              area_logic = s.area_logic +. c.Cell.area;
+              count_low_vth =
+                (if c.Cell.vth = Vth.Low then s.count_low_vth + 1 else s.count_low_vth);
+              count_high_vth =
+                (if c.Cell.vth = Vth.High then s.count_high_vth + 1 else s.count_high_vth);
+            }
+      in
+      acc := s);
+  !acc
+
+let mt_area_fraction t =
+  let logic = t.area_logic +. t.area_mt_cells in
+  if logic = 0.0 then 0.0 else t.area_mt_cells /. logic
+
+let pp fmt t =
+  Format.fprintf fmt
+    "insts=%d (comb=%d seq=%d sw=%d holder=%d) lv=%d hv=%d mt=%d area=%.1f \
+     (logic=%.1f mt=%.1f sw=%.1f holder=%.1f) sw_width=%.1f"
+    t.instances t.combinational t.sequential t.sleep_switches t.holders t.count_low_vth
+    t.count_high_vth t.count_mt t.area_total t.area_logic t.area_mt_cells t.area_switches
+    t.area_holders t.total_switch_width

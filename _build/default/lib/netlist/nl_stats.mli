@@ -1,0 +1,27 @@
+(** Composition statistics of a netlist, the raw material of the paper's
+    Table 1 area rows. *)
+
+type t = {
+  instances : int;
+  nets : int;
+  combinational : int;
+  sequential : int;
+  sleep_switches : int;
+  holders : int;
+  count_low_vth : int;  (** plain low-Vth logic cells *)
+  count_high_vth : int;  (** plain high-Vth logic cells *)
+  count_mt : int;  (** MT-cells of any style *)
+  area_total : float;
+  area_logic : float;  (** plain logic incl. flip-flops and buffers *)
+  area_mt_cells : float;
+  area_switches : float;
+  area_holders : float;
+  total_switch_width : float;  (** standalone footers plus embedded ones *)
+}
+
+val compute : Netlist.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val mt_area_fraction : t -> float
+(** Share of logic area implemented as MT-cells. *)

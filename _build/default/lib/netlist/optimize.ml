@@ -1,0 +1,78 @@
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+
+let protected_name name =
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "ctsbuf" || has_prefix "mtebuf" || has_prefix "ecobuf"
+
+let is_comb nl iid =
+  let kind = (Netlist.cell nl iid).Cell.kind in
+  (not (Func.is_sequential kind)) && not (Func.is_infrastructure kind)
+
+let remove_dead_logic nl =
+  let removed = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun iid ->
+        if is_comb nl iid && not (protected_name (Netlist.inst_name nl iid)) then
+          match Netlist.output_net nl iid with
+          | Some out
+            when Netlist.sinks nl out = []
+                 && (not (Netlist.is_po nl out))
+                 && Netlist.holder_of nl out = None ->
+            Netlist.remove_inst nl iid;
+            incr removed;
+            progress := true
+          | Some _ | None -> ())
+      (Netlist.live_insts nl)
+  done;
+  !removed
+
+let collapse_buffers nl =
+  let collapsed = ref 0 in
+  List.iter
+    (fun iid ->
+      let cell = Netlist.cell nl iid in
+      if
+        cell.Cell.kind = Func.Buf
+        && (not (Smt_cell.Cell.is_mt cell))
+        && not (protected_name (Netlist.inst_name nl iid))
+      then
+        match (Netlist.pin_net nl iid "A", Netlist.output_net nl iid) with
+        | Some src, Some out
+          when (not (Netlist.is_po nl out))
+               && (not (Netlist.is_pi nl out))
+               && Netlist.holder_of nl out = None
+               && not (Netlist.is_clock_net nl out) ->
+          (* re-home every sink of [out] onto [src], then drop the buffer *)
+          List.iter
+            (fun pin -> Netlist.move_sink nl ~from_net:out pin ~to_net:src)
+            (Netlist.sinks nl out);
+          Netlist.remove_inst nl iid;
+          incr collapsed
+        | Some _, Some _ | Some _, None | None, Some _ | None, None -> ())
+    (Netlist.live_insts nl);
+  !collapsed
+
+type result = {
+  dead_removed : int;
+  buffers_collapsed : int;
+  iterations : int;
+}
+
+let run nl =
+  let dead = ref 0 and bufs = ref 0 and iters = ref 0 in
+  let progress = ref true in
+  while !progress do
+    incr iters;
+    let d = remove_dead_logic nl in
+    let b = collapse_buffers nl in
+    dead := !dead + d;
+    bufs := !bufs + b;
+    progress := d + b > 0
+  done;
+  { dead_removed = !dead; buffers_collapsed = !bufs; iterations = !iters }

@@ -1,0 +1,24 @@
+(** Post-transformation netlist cleanup.
+
+    The flow's late stages can leave easy fat behind: logic whose outputs
+    became unobservable, and buffer pairs that no longer serve a purpose.
+    This pass removes combinational cells that drive nothing (iteratively,
+    so whole dead cones disappear) and collapses plain buffers whose output
+    net is internal.  Infrastructure buffers (clock tree, MTE tree, hold
+    ECO — recognizable by their name stems) are never touched: they exist
+    for electrical or timing reasons, not logic. *)
+
+type result = {
+  dead_removed : int;
+  buffers_collapsed : int;
+  iterations : int;
+}
+
+val remove_dead_logic : Netlist.t -> int
+(** One fixpoint of dead-cell removal; returns cells removed. *)
+
+val collapse_buffers : Netlist.t -> int
+(** Splice out removable plain buffers; returns buffers removed. *)
+
+val run : Netlist.t -> result
+(** Alternate both to fixpoint. *)

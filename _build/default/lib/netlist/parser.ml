@@ -1,0 +1,225 @@
+module Library = Smt_cell.Library
+
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Semi
+  | Comma
+  | Dot
+  | Directive of string list  (** words of a [// @...] comment *)
+  | Eof
+
+type lexer = {
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : token option;
+}
+
+let fail lx msg = raise (Parse_error (Printf.sprintf "line %d: %s" lx.line msg))
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '[' || c = ']'
+
+let rec lex_token lx =
+  if lx.pos >= String.length lx.text then Eof
+  else
+    let c = lx.text.[lx.pos] in
+    match c with
+    | ' ' | '\t' | '\r' ->
+      lx.pos <- lx.pos + 1;
+      lex_token lx
+    | '\n' ->
+      lx.pos <- lx.pos + 1;
+      lx.line <- lx.line + 1;
+      lex_token lx
+    | '/' when lx.pos + 1 < String.length lx.text && lx.text.[lx.pos + 1] = '/' ->
+      let eol =
+        match String.index_from_opt lx.text lx.pos '\n' with
+        | Some i -> i
+        | None -> String.length lx.text
+      in
+      let body = String.sub lx.text (lx.pos + 2) (eol - lx.pos - 2) in
+      lx.pos <- eol;
+      let words =
+        String.split_on_char ' ' (String.trim body) |> List.filter (fun s -> s <> "")
+      in
+      (match words with
+      | w :: _ when String.length w > 0 && w.[0] = '@' -> Directive words
+      | _ -> lex_token lx)
+    | '(' -> lx.pos <- lx.pos + 1; Lparen
+    | ')' -> lx.pos <- lx.pos + 1; Rparen
+    | ';' -> lx.pos <- lx.pos + 1; Semi
+    | ',' -> lx.pos <- lx.pos + 1; Comma
+    | '.' -> lx.pos <- lx.pos + 1; Dot
+    | c when is_ident_char c ->
+      let start = lx.pos in
+      while lx.pos < String.length lx.text && is_ident_char lx.text.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      Ident (String.sub lx.text start (lx.pos - start))
+    | c -> fail lx (Printf.sprintf "unexpected character %C" c)
+
+let next lx =
+  match lx.peeked with
+  | Some t ->
+    lx.peeked <- None;
+    t
+  | None -> lex_token lx
+
+let peek lx =
+  match lx.peeked with
+  | Some t -> t
+  | None ->
+    let t = lex_token lx in
+    lx.peeked <- Some t;
+    t
+
+let expect_ident lx =
+  match next lx with Ident s -> s | _ -> fail lx "identifier expected"
+
+let expect lx tok what =
+  let got = next lx in
+  if got <> tok then fail lx (what ^ " expected")
+
+(* Sleep switches are synthesized per width, so "SW_W4p2" may not pre-exist
+   in the library. *)
+let resolve_cell lx lib name =
+  match Library.find_opt lib name with
+  | Some c -> c
+  | None ->
+    if String.length name > 4 && String.sub name 0 4 = "SW_W" then begin
+      let spec = String.sub name 4 (String.length name - 4) in
+      match String.split_on_char 'p' spec with
+      | [ units; tenths ] -> (
+        match (int_of_string_opt units, int_of_string_opt tenths) with
+        | Some u, Some d -> Library.switch lib ~width:(float_of_int u +. (float_of_int d /. 10.0))
+        | _ -> fail lx (Printf.sprintf "bad switch cell name %s" name))
+      | _ -> fail lx (Printf.sprintf "bad switch cell name %s" name)
+    end
+    else fail lx (Printf.sprintf "unknown cell %s" name)
+
+type decl = Decl_input | Decl_output | Decl_wire
+
+let of_string ~lib text =
+  let lx = { text; pos = 0; line = 1; peeked = None } in
+  let rec skip_directives acc =
+    match peek lx with
+    | Directive d ->
+      ignore (next lx);
+      skip_directives (d :: acc)
+    | _ -> List.rev acc
+  in
+  ignore (skip_directives []);
+  (match next lx with
+  | Ident "module" -> ()
+  | _ -> fail lx "module expected");
+  let design = expect_ident lx in
+  expect lx Lparen "(";
+  let rec ports acc =
+    match next lx with
+    | Rparen -> List.rev acc
+    | Ident name -> (
+      match next lx with
+      | Comma -> ports (name :: acc)
+      | Rparen -> List.rev (name :: acc)
+      | _ -> fail lx ", or ) expected in port list")
+    | _ -> fail lx "port name expected"
+  in
+  let _port_list = ports [] in
+  expect lx Semi ";";
+  let nl = Netlist.create ~name:design ~lib in
+  (* First pass over the body: collect declarations, instances, directives. *)
+  let decls = ref [] and insts = ref [] and directives = ref [] in
+  let parse_conn () =
+    expect lx Dot ".";
+    let pin = expect_ident lx in
+    expect lx Lparen "(";
+    let net = expect_ident lx in
+    expect lx Rparen ")";
+    (pin, net)
+  in
+  let rec body () =
+    match next lx with
+    | Ident "endmodule" -> ()
+    | Ident "input" ->
+      decls := (Decl_input, expect_ident lx) :: !decls;
+      expect lx Semi ";";
+      body ()
+    | Ident "output" ->
+      decls := (Decl_output, expect_ident lx) :: !decls;
+      expect lx Semi ";";
+      body ()
+    | Ident "wire" ->
+      decls := (Decl_wire, expect_ident lx) :: !decls;
+      expect lx Semi ";";
+      body ()
+    | Ident cell_name ->
+      let inst_name = expect_ident lx in
+      expect lx Lparen "(";
+      let rec conns acc =
+        let c = parse_conn () in
+        match next lx with
+        | Comma -> conns (c :: acc)
+        | Rparen -> List.rev (c :: acc)
+        | _ -> fail lx ", or ) expected in connection list"
+      in
+      let pins = if peek lx = Rparen then (ignore (next lx); []) else conns [] in
+      expect lx Semi ";";
+      insts := (cell_name, inst_name, pins) :: !insts;
+      body ()
+    | Directive d ->
+      directives := d :: !directives;
+      body ()
+    | Eof -> fail lx "endmodule expected"
+    | Lparen | Rparen | Semi | Comma | Dot -> fail lx "statement expected"
+  in
+  body ();
+  let decls = List.rev !decls and insts = List.rev !insts and directives = List.rev !directives in
+  let clock_nets =
+    List.filter_map
+      (function [ "@clock"; n ] -> Some n | _ -> None)
+      directives
+  in
+  let is_clock n = List.mem n clock_nets in
+  List.iter
+    (fun (d, name) ->
+      match d with
+      | Decl_input -> ignore (Netlist.add_input ~clock:(is_clock name) nl name)
+      | Decl_output -> ignore (Netlist.add_output nl name)
+      | Decl_wire -> ignore (Netlist.add_net nl name))
+    decls;
+  let net_of name =
+    match Netlist.find_net nl name with
+    | Some nid -> nid
+    | None -> Netlist.add_net nl name
+  in
+  List.iter
+    (fun (cell_name, inst_name, pins) ->
+      let cell = resolve_cell lx lib cell_name in
+      let pins = List.map (fun (p, n) -> (p, net_of n)) pins in
+      ignore (Netlist.add_inst nl ~name:inst_name cell pins))
+    insts;
+  List.iter
+    (fun d ->
+      match d with
+      | [ "@vgnd"; inst; sw ] -> (
+        match (Netlist.find_inst nl inst, Netlist.find_inst nl sw) with
+        | Some i, Some s -> Netlist.set_vgnd_switch nl i (Some s)
+        | _ -> raise (Parse_error (Printf.sprintf "@vgnd refers to unknown instance %s or %s" inst sw)))
+      | _ -> ())
+    directives;
+  nl
+
+let of_file ~lib path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string ~lib text)

@@ -1,0 +1,14 @@
+(** Reader for the structural-Verilog subset emitted by {!Writer}.
+
+    Grammar: one [module] with a port list; [input]/[output]/[wire]
+    declarations; gate instantiations with named pin connections; optional
+    [// @clock] and [// @vgnd] directives. Cell names are resolved against
+    the given library; sized sleep switches ([SW_W<w>p<d>]) are synthesized
+    on demand. *)
+
+exception Parse_error of string
+(** Carries a message with a line number. *)
+
+val of_string : lib:Smt_cell.Library.t -> string -> Netlist.t
+
+val of_file : lib:Smt_cell.Library.t -> string -> Netlist.t

@@ -1,0 +1,44 @@
+let buf_add_inst nl b iid =
+  let cell = Netlist.cell nl iid in
+  let pins =
+    Netlist.conns nl iid
+    |> List.map (fun (pin, nid) -> Printf.sprintf ".%s(%s)" pin (Netlist.net_name nl nid))
+  in
+  Buffer.add_string b
+    (Printf.sprintf "  %s %s (%s);\n" cell.Smt_cell.Cell.name (Netlist.inst_name nl iid)
+       (String.concat ", " pins))
+
+let to_string nl =
+  let b = Buffer.create 4096 in
+  let ins = Netlist.inputs nl and outs = Netlist.outputs nl in
+  let port_names = List.map fst ins @ List.map fst outs in
+  Buffer.add_string b
+    (Printf.sprintf "module %s (%s);\n" (Netlist.design_name nl)
+       (String.concat ", " port_names));
+  List.iter (fun (name, _) -> Buffer.add_string b (Printf.sprintf "  input %s;\n" name)) ins;
+  List.iter (fun (name, _) -> Buffer.add_string b (Printf.sprintf "  output %s;\n" name)) outs;
+  let is_port name = List.exists (fun (p, _) -> String.equal p name) (ins @ outs) in
+  Netlist.iter_nets nl (fun nid ->
+      let name = Netlist.net_name nl nid in
+      if not (is_port name) then Buffer.add_string b (Printf.sprintf "  wire %s;\n" name));
+  List.iter
+    (fun (name, nid) ->
+      if Netlist.is_clock_net nl nid then
+        Buffer.add_string b (Printf.sprintf "  // @clock %s\n" name))
+    ins;
+  Netlist.iter_insts nl (fun iid -> buf_add_inst nl b iid);
+  Netlist.iter_insts nl (fun iid ->
+      match Netlist.vgnd_switch nl iid with
+      | None -> ()
+      | Some sw ->
+        Buffer.add_string b
+          (Printf.sprintf "  // @vgnd %s %s\n" (Netlist.inst_name nl iid)
+             (Netlist.inst_name nl sw)));
+  Buffer.add_string b "endmodule\n";
+  Buffer.contents b
+
+let to_file nl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nl))

@@ -1,0 +1,12 @@
+(** Structural-Verilog-subset dump of a netlist.
+
+    The subset is plain gate-level Verilog plus two directive comments that
+    carry the non-Verilog connectivity of the Selective-MT style:
+    [// @clock <net>] marks clock inputs and [// @vgnd <inst> <switch>]
+    records which sleep switch an MT-cell's virtual-ground port hangs from.
+    [Parser.of_string] reads the same subset back. *)
+
+val to_string : Netlist.t -> string
+
+val to_file : Netlist.t -> string -> unit
+(** Write to a path. *)

@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Buffer Float Hashtbl List Printf Smt_cell Smt_netlist Smt_util String

@@ -1,0 +1,1 @@
+lib/place/placement.mli: Smt_netlist Smt_util

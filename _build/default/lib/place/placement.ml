@@ -1,0 +1,276 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Geom = Smt_util.Geom
+module Rng = Smt_util.Rng
+module Library = Smt_cell.Library
+
+type t = {
+  nl : Netlist.t;
+  die : Geom.bbox;
+  rows : int;
+  row_height : float;
+  coords : (Netlist.inst_id, Geom.point) Hashtbl.t;
+  ports : (string, Geom.point) Hashtbl.t;
+}
+
+let netlist t = t.nl
+let die t = t.die
+let row_count t = t.rows
+
+let inst_point t iid =
+  match Hashtbl.find_opt t.coords iid with
+  | Some p -> p
+  | None -> raise Not_found
+
+let inst_point_opt t iid = Hashtbl.find_opt t.coords iid
+
+let clamp_into die (p : Geom.point) =
+  {
+    Geom.x = Geom.clamp p.Geom.x ~lo:die.Geom.lx ~hi:die.Geom.hx;
+    Geom.y = Geom.clamp p.Geom.y ~lo:die.Geom.ly ~hi:die.Geom.hy;
+  }
+
+let place_inst t iid p = Hashtbl.replace t.coords iid (clamp_into t.die p)
+
+let port_point t name = Hashtbl.find_opt t.ports name
+
+let pin_points t nid =
+  let nl = t.nl in
+  let of_inst iid = Hashtbl.find_opt t.coords iid in
+  let driver = match Netlist.driver nl nid with
+    | Some p -> (match of_inst p.Netlist.inst with Some pt -> [ pt ] | None -> [])
+    | None -> []
+  in
+  let sinks =
+    List.filter_map (fun (p : Netlist.pin) -> of_inst p.Netlist.inst) (Netlist.sinks nl nid)
+  in
+  let holder =
+    match Netlist.holder_of nl nid with
+    | Some h -> (match of_inst h with Some pt -> [ pt ] | None -> [])
+    | None -> []
+  in
+  let pads =
+    let name = Netlist.net_name nl nid in
+    if Netlist.is_pi nl nid || Netlist.is_po nl nid then
+      match Hashtbl.find_opt t.ports name with Some p -> [ p ] | None -> []
+    else []
+  in
+  driver @ sinks @ holder @ pads
+
+let net_hpwl t nid =
+  match pin_points t nid with
+  | [] | [ _ ] -> 0.0
+  | pts -> Geom.hpwl (Geom.bbox_of_points pts)
+
+let total_hpwl t =
+  let acc = ref 0.0 in
+  Netlist.iter_nets t.nl (fun nid -> acc := !acc +. net_hpwl t nid);
+  !acc
+
+let centroid t insts =
+  match insts with
+  | [] -> Geom.center t.die
+  | _ ->
+    let n = float_of_int (List.length insts) in
+    let sx, sy =
+      List.fold_left
+        (fun (sx, sy) iid ->
+          match Hashtbl.find_opt t.coords iid with
+          | Some p -> (sx +. p.Geom.x, sy +. p.Geom.y)
+          | None -> (sx, sy))
+        (0.0, 0.0) insts
+    in
+    { Geom.x = sx /. n; Geom.y = sy /. n }
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "DIE %.4f %.4f %.4f %.4f ROWS %d\n" t.die.Geom.lx t.die.Geom.ly
+       t.die.Geom.hx t.die.Geom.hy t.rows);
+  Hashtbl.iter
+    (fun name (p : Geom.point) ->
+      Buffer.add_string b (Printf.sprintf "PORT %s %.4f %.4f\n" name p.Geom.x p.Geom.y))
+    t.ports;
+  Netlist.iter_insts t.nl (fun iid ->
+      match Hashtbl.find_opt t.coords iid with
+      | Some p ->
+        Buffer.add_string b
+          (Printf.sprintf "INST %s %.4f %.4f\n" (Netlist.inst_name t.nl iid) p.Geom.x p.Geom.y)
+      | None -> ());
+  Buffer.contents b
+
+let of_string nl text =
+  let lines = String.split_on_char '\n' text in
+  let die = ref None and rows = ref 0 in
+  let ports = Hashtbl.create 97 and coords = Hashtbl.create 997 in
+  let bad line = failwith (Printf.sprintf "Placement.of_string: bad line %S" line) in
+  let f s line = match float_of_string_opt s with Some v -> v | None -> bad line in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | [ "DIE"; lx; ly; hx; hy; "ROWS"; r ] ->
+        die := Some { Geom.lx = f lx line; ly = f ly line; hx = f hx line; hy = f hy line };
+        rows := (match int_of_string_opt r with Some v -> v | None -> bad line)
+      | [ "PORT"; name; x; y ] ->
+        Hashtbl.replace ports name { Geom.x = f x line; Geom.y = f y line }
+      | [ "INST"; name; x; y ] -> (
+        match Netlist.find_inst nl name with
+        | Some iid -> Hashtbl.replace coords iid { Geom.x = f x line; Geom.y = f y line }
+        | None -> failwith (Printf.sprintf "Placement.of_string: unknown instance %s" name))
+      | _ -> bad line)
+    lines;
+  match !die with
+  | None -> failwith "Placement.of_string: missing DIE header"
+  | Some die ->
+    let tech = Library.tech (Netlist.lib nl) in
+    { nl; die; rows = max 1 !rows; row_height = tech.Smt_cell.Tech.row_height; coords; ports }
+
+(* Longest-path logic level per instance; flip-flops level 0. *)
+let levels nl =
+  let order = Netlist.topo_order nl in
+  let n = Netlist.inst_count nl in
+  let level = Array.make n 0 in
+  List.iter
+    (fun iid ->
+      let deep =
+        List.fold_left (fun acc pred -> max acc (level.(pred) + 1)) 0 (Netlist.fanin_insts nl iid)
+      in
+      level.(iid) <- deep)
+    order;
+  level
+
+let legalize t order_hint =
+  (* Bucket cells into rows, spill overfull rows into their neighbours (so
+     no row exceeds the die width), then pack each row left-to-right. *)
+  let rows = Array.make t.rows [] in
+  let cell_width iid = (Netlist.cell t.nl iid).Cell.area /. t.row_height in
+  List.iter
+    (fun iid ->
+      match Hashtbl.find_opt t.coords iid with
+      | None -> ()
+      | Some p ->
+        let row =
+          int_of_float ((p.Geom.y -. t.die.Geom.ly) /. t.row_height)
+          |> max 0 |> min (t.rows - 1)
+        in
+        rows.(row) <- (iid, p.Geom.x) :: rows.(row))
+    order_hint;
+  let capacity = Geom.width t.die in
+  (* Global repack: walk the cells in (row, x) order and refill the rows
+     sequentially, never exceeding the row capacity.  Total cell width is at
+     most utilization * rows * capacity, so the greedy fill always fits (the
+     last row absorbs any remainder). *)
+  let ordered =
+    Array.to_list rows
+    |> List.concat_map (fun members ->
+           List.sort (fun (_, x1) (_, x2) -> compare x1 x2) members)
+  in
+  let repacked = Array.make t.rows [] in
+  let row = ref 0 in
+  let used = ref 0.0 in
+  List.iter
+    (fun (iid, x) ->
+      let w = cell_width iid in
+      if !used +. w > capacity && !row < t.rows - 1 && repacked.(!row) <> [] then begin
+        incr row;
+        used := 0.0
+      end;
+      repacked.(!row) <- (iid, x) :: repacked.(!row);
+      used := !used +. w)
+    ordered;
+  Array.iteri
+    (fun r members ->
+      let members = List.rev members in
+      let y = t.die.Geom.ly +. ((float_of_int r +. 0.5) *. t.row_height) in
+      let x = ref t.die.Geom.lx in
+      List.iter
+        (fun (iid, _) ->
+          let w = cell_width iid in
+          Hashtbl.replace t.coords iid { Geom.x = !x +. (w /. 2.0); Geom.y = y };
+          x := !x +. w)
+        members)
+    repacked
+
+let place ?(seed = 1) ?(utilization = 0.65) ?(iterations = 12) nl =
+  let rng = Rng.create seed in
+  let area = Netlist.total_area nl in
+  let tech = Library.tech (Netlist.lib nl) in
+  let row_height = tech.Smt_cell.Tech.row_height in
+  let side = Float.max (4.0 *. row_height) (sqrt (area /. utilization)) in
+  let rows = max 2 (int_of_float (side /. row_height)) in
+  let die =
+    { Geom.lx = 0.0; Geom.ly = 0.0; Geom.hx = side; Geom.hy = float_of_int rows *. row_height }
+  in
+  let t = { nl; die; rows; row_height; coords = Hashtbl.create 997; ports = Hashtbl.create 97 } in
+  (* Ports on the west (inputs) and east (outputs) edges. *)
+  let spread edge_x ports =
+    let n = List.length ports in
+    List.iteri
+      (fun i (name, _) ->
+        let y = die.Geom.ly +. ((float_of_int i +. 1.0) /. (float_of_int n +. 1.0) *. Geom.height die) in
+        Hashtbl.replace t.ports name { Geom.x = edge_x; Geom.y })
+      ports
+  in
+  spread die.Geom.lx (Netlist.inputs nl);
+  spread die.Geom.hx (Netlist.outputs nl);
+  (* Constructive placement: sweep by logic level, snake through rows. *)
+  let level = levels nl in
+  let insts = Netlist.live_insts nl in
+  let keyed =
+    List.map (fun iid -> (iid, (level.(iid), Rng.int rng 1000))) insts
+    |> List.sort (fun (_, k1) (_, k2) -> compare k1 k2)
+    |> List.map fst
+  in
+  let per_row = max 1 ((List.length keyed + rows - 1) / rows) in
+  List.iteri
+    (fun i iid ->
+      let row = i / per_row in
+      let pos = i mod per_row in
+      let pos = if row mod 2 = 1 then per_row - 1 - pos else pos in
+      let x =
+        die.Geom.lx +. ((float_of_int pos +. 0.5) /. float_of_int per_row *. Geom.width die)
+      in
+      let y = die.Geom.ly +. ((float_of_int (row mod rows) +. 0.5) *. row_height) in
+      Hashtbl.replace t.coords iid { Geom.x; Geom.y })
+    keyed;
+  (* Force-directed refinement: move every cell toward the centroid of its
+     neighbours (connected instances and port pads), then legalize rows. *)
+  let neighbours iid =
+    let nets =
+      List.filter_map
+        (fun (pin, nid) ->
+          (* the clock net connects everything; skip it *)
+          if Netlist.is_clock_net nl nid then None else Some (pin, nid))
+        (Netlist.conns nl iid)
+    in
+    List.concat_map
+      (fun (_, nid) ->
+        let pts = pin_points t nid in
+        let self = Hashtbl.find_opt t.coords iid in
+        match self with
+        | None -> pts
+        | Some p -> List.filter (fun q -> q <> p) pts)
+      nets
+  in
+  for _pass = 1 to iterations do
+    List.iter
+      (fun iid ->
+        let pts = neighbours iid in
+        match pts with
+        | [] -> ()
+        | _ ->
+          let n = float_of_int (List.length pts) in
+          let sx = List.fold_left (fun acc p -> acc +. p.Geom.x) 0.0 pts in
+          let sy = List.fold_left (fun acc p -> acc +. p.Geom.y) 0.0 pts in
+          let target = { Geom.x = sx /. n; Geom.y = sy /. n } in
+          let cur = Hashtbl.find t.coords iid in
+          let blended =
+            { Geom.x = (cur.Geom.x +. target.Geom.x) /. 2.0;
+              Geom.y = (cur.Geom.y +. target.Geom.y) /. 2.0 }
+          in
+          Hashtbl.replace t.coords iid (clamp_into die blended))
+      keyed;
+    legalize t keyed
+  done;
+  t

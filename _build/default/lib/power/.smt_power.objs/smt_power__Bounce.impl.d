@@ -1,0 +1,1 @@
+lib/power/bounce.ml: Float Hashtbl List Smt_cell Smt_netlist Smt_sim

@@ -1,0 +1,1 @@
+lib/power/bounce.mli: Smt_cell Smt_netlist Smt_sim

@@ -1,0 +1,1 @@
+lib/power/dynamic.ml: Leakage List Smt_cell Smt_netlist Smt_sim Smt_sta

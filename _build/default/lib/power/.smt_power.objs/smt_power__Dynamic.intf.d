@@ -1,0 +1,1 @@
+lib/power/dynamic.mli: Smt_netlist Smt_sim Smt_sta

@@ -1,0 +1,1 @@
+lib/power/em.ml: Printf Smt_cell

@@ -1,0 +1,1 @@
+lib/power/em.mli: Smt_cell

@@ -1,0 +1,1 @@
+lib/power/leakage.ml: Format Smt_cell Smt_netlist String

@@ -1,0 +1,1 @@
+lib/power/leakage.mli: Format Smt_cell Smt_netlist

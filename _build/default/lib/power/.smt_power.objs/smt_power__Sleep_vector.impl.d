@@ -1,0 +1,1 @@
+lib/power/sleep_vector.ml: Array Float List Smt_cell Smt_netlist Smt_sim Smt_util

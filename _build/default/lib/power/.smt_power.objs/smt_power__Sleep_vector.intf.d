@@ -1,0 +1,1 @@
+lib/power/sleep_vector.mli: Smt_cell Smt_netlist Smt_sim

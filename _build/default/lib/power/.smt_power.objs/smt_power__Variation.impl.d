@@ -1,0 +1,1 @@
+lib/power/variation.ml: List Smt_cell Smt_netlist Smt_util

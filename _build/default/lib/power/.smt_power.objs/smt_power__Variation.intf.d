@@ -1,0 +1,1 @@
+lib/power/variation.mli: Smt_netlist

@@ -1,0 +1,1 @@
+lib/power/wakeup.ml: Float List Smt_cell Smt_netlist

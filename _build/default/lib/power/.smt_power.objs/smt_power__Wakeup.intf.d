@@ -1,0 +1,1 @@
+lib/power/wakeup.mli: Smt_netlist

@@ -1,0 +1,47 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Activity = Smt_sim.Activity
+module Wire = Smt_sta.Wire
+module Library = Smt_cell.Library
+module Tech = Smt_cell.Tech
+
+type estimate = {
+  switching_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+  clock_mhz : float;
+}
+
+let default_toggle = 0.15
+
+let estimate ?activity ?(wire = Wire.zero) ~clock_mhz nl =
+  let tech = Library.tech (Netlist.lib nl) in
+  let vdd = tech.Tech.vdd in
+  let f_hz = clock_mhz *. 1e6 in
+  let switching_w = ref 0.0 in
+  Netlist.iter_insts nl (fun iid ->
+      match Netlist.output_net nl iid with
+      | None -> ()
+      | Some out ->
+        if not (Netlist.is_clock_net nl out) then begin
+          let alpha =
+            match activity with Some a -> Activity.factor a iid | None -> default_toggle
+          in
+          let pin_caps =
+            List.fold_left
+              (fun acc (p : Netlist.pin) ->
+                acc +. (Netlist.cell nl p.Netlist.inst).Cell.input_cap)
+              0.0 (Netlist.sinks nl out)
+          in
+          let cap_ff = pin_caps +. wire.Wire.net_cap out in
+          (* fF -> F is 1e-15; P = alpha * C * V^2 * f *)
+          switching_w := !switching_w +. (alpha *. cap_ff *. 1e-15 *. vdd *. vdd *. f_hz)
+        end);
+  let leakage_mw = Leakage.active nl /. 1e6 in
+  let switching_mw = !switching_w *. 1e3 in
+  {
+    switching_mw;
+    leakage_mw;
+    total_mw = switching_mw +. leakage_mw;
+    clock_mhz;
+  }

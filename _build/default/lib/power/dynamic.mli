@@ -1,0 +1,25 @@
+(** Dynamic (switching) power estimation.
+
+    The paper's opening sentence: portable appliances care about both
+    dynamic power and standby leakage.  Dynamic power is
+    [alpha * C * Vdd^2 * f] summed over nets: toggle rates come from the
+    activity estimator, capacitance from pin loads plus wires, frequency
+    from the flow's clock.  This closes the power story: Selective-MT
+    leaves dynamic power essentially untouched (same logic, slightly more
+    wire) while crushing the standby component. *)
+
+type estimate = {
+  switching_mw : float;  (** net-charging power at the given clock *)
+  leakage_mw : float;  (** active-mode leakage floor *)
+  total_mw : float;
+  clock_mhz : float;
+}
+
+val estimate :
+  ?activity:Smt_sim.Activity.t ->
+  ?wire:Smt_sta.Wire.t ->
+  clock_mhz:float ->
+  Smt_netlist.Netlist.t ->
+  estimate
+(** Without a measured activity profile a default toggle rate of 0.15 per
+    cycle is assumed; without a wire model, pin loads only. *)

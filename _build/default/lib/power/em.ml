@@ -1,0 +1,18 @@
+module Tech = Smt_cell.Tech
+
+type verdict = Ok | Too_many_cells of int | Current_exceeded of float
+
+let check tech ~cells ~sustained_ua =
+  if cells > tech.Tech.em_cell_limit then Too_many_cells cells
+  else if sustained_ua > tech.Tech.em_current_limit then Current_exceeded sustained_ua
+  else Ok
+
+let cluster_ok tech ~cells ~sustained_ua =
+  match check tech ~cells ~sustained_ua with
+  | Ok -> true
+  | Too_many_cells _ | Current_exceeded _ -> false
+
+let describe = function
+  | Ok -> "ok"
+  | Too_many_cells n -> Printf.sprintf "too many cells per switch (%d)" n
+  | Current_exceeded c -> Printf.sprintf "sustained current %.1f uA exceeds EM limit" c

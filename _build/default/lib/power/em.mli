@@ -1,0 +1,14 @@
+(** Electromigration constraints on sleep switches.
+
+    The paper: "The number of MT-cells which share the same switch
+    transistor is also cared to prevent the electro-migration."  Two caps
+    are enforced per switch: a member-count cap and a sustained-current
+    cap. *)
+
+type verdict = Ok | Too_many_cells of int | Current_exceeded of float
+
+val check : Smt_cell.Tech.t -> cells:int -> sustained_ua:float -> verdict
+
+val cluster_ok : Smt_cell.Tech.t -> cells:int -> sustained_ua:float -> bool
+
+val describe : verdict -> string

@@ -1,0 +1,95 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+
+type breakdown = {
+  total : float;
+  low_vth_logic : float;
+  high_vth_logic : float;
+  sequential : float;
+  mt_residual : float;
+  switches : float;
+  embedded_mt : float;
+  holders : float;
+  infrastructure : float;
+}
+
+let zero =
+  {
+    total = 0.0;
+    low_vth_logic = 0.0;
+    high_vth_logic = 0.0;
+    sequential = 0.0;
+    mt_residual = 0.0;
+    switches = 0.0;
+    embedded_mt = 0.0;
+    holders = 0.0;
+    infrastructure = 0.0;
+  }
+
+(* Buffers inserted by CTS / MTE buffering / ECO are recognisable by name
+   stem; they are ordinary cells, the classification is only for the
+   report. *)
+let is_infrastructure_inst nl iid =
+  let name = Netlist.inst_name nl iid in
+  let has_prefix p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "ctsbuf" || has_prefix "mtebuf" || has_prefix "ecobuf"
+
+let standby nl =
+  let acc = ref zero in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      let leak = c.Cell.leak_standby in
+      let s = !acc in
+      let s = { s with total = s.total +. leak } in
+      let s =
+        match c.Cell.kind with
+        | Func.Sleep_switch -> { s with switches = s.switches +. leak }
+        | Func.Holder -> { s with holders = s.holders +. leak }
+        | Func.Dff -> { s with sequential = s.sequential +. leak }
+        | Func.Inv | Func.Buf | Func.Clkbuf | Func.Nand2 | Func.Nand3 | Func.Nand4
+        | Func.Nor2 | Func.Nor3 | Func.And2 | Func.And3 | Func.Or2 | Func.Or3
+        | Func.Xor2 | Func.Xnor2 | Func.Aoi21 | Func.Oai21 | Func.Mux2 -> (
+          match c.Cell.style with
+          | Vth.Mt_embedded -> { s with embedded_mt = s.embedded_mt +. leak }
+          | Vth.Mt_no_vgnd | Vth.Mt_vgnd -> { s with mt_residual = s.mt_residual +. leak }
+          | Vth.Plain ->
+            if is_infrastructure_inst nl iid then
+              { s with infrastructure = s.infrastructure +. leak }
+            else if c.Cell.vth = Vth.Low then
+              { s with low_vth_logic = s.low_vth_logic +. leak }
+            else { s with high_vth_logic = s.high_vth_logic +. leak })
+      in
+      acc := s);
+  !acc
+
+let active nl =
+  let acc = ref 0.0 in
+  Netlist.iter_insts nl (fun iid -> acc := !acc +. (Netlist.cell nl iid).Cell.leak_active);
+  !acc
+
+let scale b k =
+  {
+    total = b.total *. k;
+    low_vth_logic = b.low_vth_logic *. k;
+    high_vth_logic = b.high_vth_logic *. k;
+    sequential = b.sequential *. k;
+    mt_residual = b.mt_residual *. k;
+    switches = b.switches *. k;
+    embedded_mt = b.embedded_mt *. k;
+    holders = b.holders *. k;
+    infrastructure = b.infrastructure *. k;
+  }
+
+let at_corner corner nl =
+  let tech = Smt_cell.Library.tech (Netlist.lib nl) in
+  scale (standby nl) (Smt_cell.Corner.leakage_factor tech corner)
+
+let pp fmt b =
+  Format.fprintf fmt
+    "standby %.1f nW (lv=%.1f hv=%.1f seq=%.1f mt=%.1f sw=%.1f emb=%.1f hold=%.1f infra=%.1f)"
+    b.total b.low_vth_logic b.high_vth_logic b.sequential b.mt_residual b.switches
+    b.embedded_mt b.holders b.infrastructure

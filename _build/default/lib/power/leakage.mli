@@ -1,0 +1,32 @@
+(** Standby leakage accounting — the paper's Table 1 "Leakage" rows.
+
+    In standby the MTE signal is asserted: MT-cells are cut from ground and
+    leak only a residual plus their (shared or embedded) high-Vth switch;
+    plain cells — including every low-Vth cell a Dual-Vth design keeps on
+    its critical paths — leak at full rate.  All figures in nW. *)
+
+type breakdown = {
+  total : float;
+  low_vth_logic : float;  (** plain low-Vth combinational cells *)
+  high_vth_logic : float;
+  sequential : float;  (** flip-flops (always powered) *)
+  mt_residual : float;  (** MT-cell junction/residual leakage *)
+  switches : float;  (** standalone footers; embedded ones count in [mt_residual]'s cells *)
+  embedded_mt : float;  (** conventional MT-cells (switch+holder inside) *)
+  holders : float;
+  infrastructure : float;  (** clock tree, MTE buffers and other buffers *)
+}
+
+val standby : Smt_netlist.Netlist.t -> breakdown
+
+val active : Smt_netlist.Netlist.t -> float
+(** Total leakage with everything powered (active-mode floor). *)
+
+val at_corner : Smt_cell.Corner.t -> Smt_netlist.Netlist.t -> breakdown
+(** [standby] scaled to a PVT corner (exponential in temperature, see
+    {!Smt_cell.Corner}). *)
+
+val scale : breakdown -> float -> breakdown
+(** Multiply every component (corner scaling helper). *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,103 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Logic = Smt_sim.Logic
+module Simulator = Smt_sim.Simulator
+module Rng = Smt_util.Rng
+
+let stack_per_zero = 0.75
+let floor_factor = 0.4
+
+let state_factor kind inputs =
+  if Func.is_sequential kind || Func.is_infrastructure kind then 1.0
+  else begin
+    let weight v =
+      match (v : Logic.value) with Logic.F -> 1.0 | Logic.X -> 0.5 | Logic.T -> 0.0
+    in
+    let zeros = List.fold_left (fun acc v -> acc +. weight v) 0.0 inputs in
+    Float.max floor_factor (stack_per_zero ** zeros)
+  end
+
+let cell_leak_with_state nl sim iid =
+  let cell = Netlist.cell nl iid in
+  if Cell.is_mt cell then cell.Cell.leak_standby
+  else begin
+    let inputs =
+      Func.input_names cell.Cell.kind
+      |> Array.to_list
+      |> List.filter_map (fun pin ->
+             match Netlist.pin_net nl iid pin with
+             | Some nid -> Some (Simulator.value sim nid)
+             | None -> None)
+    in
+    cell.Cell.leak_standby *. state_factor cell.Cell.kind inputs
+  end
+
+let standby_with_vector ?(ff_state = []) nl ~vector =
+  let sim = Simulator.create nl in
+  Simulator.reset sim;
+  List.iter (fun (iid, v) -> Simulator.set_ff_state sim iid v) ff_state;
+  let all_inputs =
+    List.map
+      (fun (name, _) ->
+        match List.assoc_opt name vector with
+        | Some v -> (name, v)
+        | None -> (name, Logic.F))
+      (Netlist.inputs nl)
+  in
+  Simulator.set_inputs sim all_inputs;
+  Simulator.propagate ~mode:Simulator.Standby sim;
+  let total = ref 0.0 in
+  Netlist.iter_insts nl (fun iid -> total := !total +. cell_leak_with_state nl sim iid);
+  !total
+
+type search = {
+  best_vector : (string * Logic.value) list;
+  best_state : (Netlist.inst_id * Logic.value) list;
+  best_nw : float;
+  worst_nw : float;
+  average_nw : float;
+  tries : int;
+}
+
+let search ?(tries = 64) ?(seed = 13) ?(park_state = true) nl =
+  let rng = Rng.create seed in
+  let names =
+    Netlist.inputs nl
+    |> List.filter (fun (_, nid) -> not (Netlist.is_clock_net nl nid))
+    |> List.map fst
+  in
+  let ffs =
+    if park_state then
+      List.filter
+        (fun iid -> (Netlist.cell nl iid).Cell.kind = Func.Dff)
+        (Netlist.live_insts nl)
+    else []
+  in
+  let draw () =
+    ( List.map (fun n -> (n, Logic.of_bool (Rng.bool rng))) names,
+      List.map (fun iid -> (iid, Logic.of_bool (Rng.bool rng))) ffs )
+  in
+  let rec loop i best best_state best_nw worst sum =
+    if i >= tries then
+      {
+        best_vector = best;
+        best_state;
+        best_nw;
+        worst_nw = worst;
+        average_nw = sum /. float_of_int tries;
+        tries;
+      }
+    else begin
+      let v, st = draw () in
+      let nw = standby_with_vector ~ff_state:st nl ~vector:v in
+      let best, best_state, best_nw =
+        if nw < best_nw then (v, st, nw) else (best, best_state, best_nw)
+      in
+      let worst = Float.max worst nw in
+      loop (i + 1) best best_state best_nw worst (sum +. nw)
+    end
+  in
+  let v0, st0 = draw () in
+  let nw0 = standby_with_vector ~ff_state:st0 nl ~vector:v0 in
+  loop 1 v0 st0 nw0 nw0 nw0

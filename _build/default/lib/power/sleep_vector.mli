@@ -1,0 +1,45 @@
+(** Input-vector-dependent standby leakage and sleep-vector selection.
+
+    A CMOS gate's sub-threshold leakage depends on its input state: every
+    series transistor that is off adds stack effect and cuts the leakage
+    several-fold.  The cells a Selective-MT design leaves powered in
+    standby (high-Vth logic, flip-flops) therefore leak by an amount that
+    depends on the values frozen at the primary inputs — so the *sleep
+    vector* is itself an optimization knob, complementary to the paper's
+    technique: gate what you can, and park what you cannot in its least
+    leaky state.
+
+    The model: each 0 input multiplies a cell's standby leakage by the
+    stack factor (default physics: ~0.75 per off-stack transistor, floored
+    at 0.4); X inputs count half. Gated MT-cells are unaffected (their
+    leakage is the residual regardless of state). *)
+
+val state_factor : Smt_cell.Func.kind -> Smt_sim.Logic.value list -> float
+(** Leakage multiplier for a combinational cell with the given input
+    values; 1.0 for sequential/infrastructure kinds. In [0.4, 1.0]. *)
+
+val standby_with_vector :
+  ?ff_state:(Smt_netlist.Netlist.inst_id * Smt_sim.Logic.value) list ->
+  Smt_netlist.Netlist.t ->
+  vector:(string * Smt_sim.Logic.value) list ->
+  float
+(** Total standby leakage (nW) with the primary inputs frozen at [vector]
+    (all inputs not mentioned are held at 0) and flip-flops parked at
+    [ff_state] (default all 0, as after a reset); nets settle through a
+    standby simulation, so held/floating MT outputs shape the awake cells'
+    states. *)
+
+type search = {
+  best_vector : (string * Smt_sim.Logic.value) list;
+  best_state : (Smt_netlist.Netlist.inst_id * Smt_sim.Logic.value) list;
+  best_nw : float;
+  worst_nw : float;
+  average_nw : float;
+  tries : int;
+}
+
+val search :
+  ?tries:int -> ?seed:int -> ?park_state:bool -> Smt_netlist.Netlist.t -> search
+(** Random search (default 64 vectors) over sleep vectors and, with
+    [park_state] (default true, the scan-in technique), flip-flop states.
+    Deterministic per seed. *)

@@ -1,0 +1,43 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Rng = Smt_util.Rng
+module Stats = Smt_util.Stats
+
+type stats = {
+  samples : int;
+  mean : float;
+  stddev : float;
+  p5 : float;
+  p50 : float;
+  p95 : float;
+  deterministic : float;
+}
+
+let sample_standby ?(sigma = 0.35) ?(samples = 500) ?(seed = 21) nl =
+  let rng = Rng.create seed in
+  let leaks =
+    List.filter_map
+      (fun iid ->
+        let l = (Netlist.cell nl iid).Cell.leak_standby in
+        if l > 0.0 then Some l else None)
+      (Netlist.live_insts nl)
+  in
+  let deterministic = List.fold_left ( +. ) 0.0 leaks in
+  (* lognormal with mean 1: exp(sigma*z - sigma^2/2) *)
+  let draw_total () =
+    List.fold_left
+      (fun acc l ->
+        let z = Rng.gaussian rng ~mean:0.0 ~sigma:1.0 in
+        acc +. (l *. exp ((sigma *. z) -. (sigma *. sigma /. 2.0))))
+      0.0 leaks
+  in
+  let totals = List.init samples (fun _ -> draw_total ()) in
+  {
+    samples;
+    mean = Stats.mean totals;
+    stddev = Stats.stddev totals;
+    p5 = Stats.percentile totals 5.0;
+    p50 = Stats.percentile totals 50.0;
+    p95 = Stats.percentile totals 95.0;
+    deterministic;
+  }

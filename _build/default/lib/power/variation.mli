@@ -1,0 +1,25 @@
+(** Statistical standby leakage under process variation.
+
+    Sub-threshold leakage varies exponentially with threshold-voltage
+    variation, so per-cell leakage is well modelled as lognormal.  Monte
+    Carlo over independent per-cell multipliers gives the block's leakage
+    distribution; because a Dual-Vth design's leakage is concentrated in a
+    minority of low-Vth cells while an SMT design's floor is spread over
+    many tiny contributors, the *relative* spread differs by technique —
+    a sign-off quantity the deterministic number hides. *)
+
+type stats = {
+  samples : int;
+  mean : float;
+  stddev : float;
+  p5 : float;
+  p50 : float;
+  p95 : float;
+  deterministic : float;  (** the no-variation total, for reference *)
+}
+
+val sample_standby :
+  ?sigma:float -> ?samples:int -> ?seed:int -> Smt_netlist.Netlist.t -> stats
+(** [sigma] is the lognormal shape parameter of each cell's multiplier
+    (default 0.35); multipliers are normalized to mean 1 so the ensemble
+    mean tracks the deterministic total. Deterministic per seed. *)

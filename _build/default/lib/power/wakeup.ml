@@ -1,0 +1,51 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Tech = Smt_cell.Tech
+module Library = Smt_cell.Library
+
+type cluster_wake = {
+  switch : Netlist.inst_id;
+  members : int;
+  vgnd_cap_ff : float;
+  wake_time_ps : float;
+  wake_energy_fj : float;
+  rush_current_ua : float;
+}
+
+(* Internal capacitance a cell hangs on its virtual ground: proportional to
+   its transistor width, for which area is our proxy. *)
+let cell_vgnd_cap cell = 0.8 *. cell.Cell.area
+
+let analyze nl ~wire_length_of =
+  let tech = Library.tech (Netlist.lib nl) in
+  List.map
+    (fun sw ->
+      let members = Netlist.switch_members nl sw in
+      let cap_cells =
+        List.fold_left (fun acc iid -> acc +. cell_vgnd_cap (Netlist.cell nl iid)) 0.0 members
+      in
+      let cap_wire = wire_length_of sw *. tech.Tech.wire_c_per_um in
+      let cap = cap_cells +. cap_wire in
+      let width = (Netlist.cell nl sw).Cell.switch_width in
+      let r = Tech.switch_resistance tech ~width:(Float.max 0.1 width) in
+      (* ohm * fF = 1e-3 ps; settle to ~5% in 3 time constants *)
+      let tau_ps = r *. cap *. 1e-3 in
+      let energy_fj = 0.5 *. cap *. tech.Tech.vdd *. tech.Tech.vdd in
+      let rush = tech.Tech.vdd /. r *. 1e6 in
+      {
+        switch = sw;
+        members = List.length members;
+        vgnd_cap_ff = cap;
+        wake_time_ps = 3.0 *. tau_ps;
+        wake_energy_fj = energy_fj;
+        rush_current_ua = rush;
+      })
+    (Netlist.switches nl)
+
+let worst_wake_time reports =
+  List.fold_left (fun acc r -> Float.max acc r.wake_time_ps) 0.0 reports
+
+let total_wake_energy reports =
+  List.fold_left (fun acc r -> acc +. r.wake_energy_fj) 0.0 reports
+
+let block_wake_time nl ~wire_length_of = worst_wake_time (analyze nl ~wire_length_of)

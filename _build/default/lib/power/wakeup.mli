@@ -1,0 +1,37 @@
+(** Wake-up cost of the sleep-switch structure.
+
+    When MTE de-asserts, each footer must discharge its cluster's virtual
+    ground before the cells compute reliably.  The wake time of a cluster
+    is approximately [3 * R_switch * C_vgnd] (settling to ~5%), where the
+    VGND capacitance aggregates the members' internal capacitance and the
+    VGND wiring; the wake energy is [C_vgnd * Vdd^2 / 2] plus the rush
+    current through the switch.
+
+    This is the classic MTCMOS trade-off that bounds how aggressively one
+    shares switches: bigger clusters leak less but wake slower — an
+    extension the paper leaves implicit in its EM/bounce constraints. *)
+
+type cluster_wake = {
+  switch : Smt_netlist.Netlist.inst_id;
+  members : int;
+  vgnd_cap_ff : float;
+  wake_time_ps : float;
+  wake_energy_fj : float;
+  rush_current_ua : float;  (** initial discharge current through the footer *)
+}
+
+val analyze :
+  Smt_netlist.Netlist.t ->
+  wire_length_of:(Smt_netlist.Netlist.inst_id -> float) ->
+  cluster_wake list
+(** One entry per sleep switch. *)
+
+val worst_wake_time : cluster_wake list -> float
+val total_wake_energy : cluster_wake list -> float
+
+val block_wake_time :
+  Smt_netlist.Netlist.t ->
+  wire_length_of:(Smt_netlist.Netlist.inst_id -> float) ->
+  float
+(** Wake time of the whole block = the slowest cluster (switches all open
+    in parallel on MTE). 0 when there are no switches. *)

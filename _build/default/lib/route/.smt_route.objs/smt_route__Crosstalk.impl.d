@@ -1,0 +1,1 @@
+lib/route/crosstalk.ml: Float Smt_cell

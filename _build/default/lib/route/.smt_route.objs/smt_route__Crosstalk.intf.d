@@ -1,0 +1,1 @@
+lib/route/crosstalk.mli: Smt_cell

@@ -1,0 +1,1 @@
+lib/route/global_router.ml: Array Float List Parasitics Smt_cell Smt_netlist Smt_place Smt_util

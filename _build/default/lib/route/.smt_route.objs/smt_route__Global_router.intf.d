@@ -1,0 +1,1 @@
+lib/route/global_router.mli: Parasitics Smt_netlist Smt_place Smt_util

@@ -1,0 +1,1 @@
+lib/route/parasitics.ml: Array Buffer List Printf Smt_cell Smt_netlist Smt_place Smt_sta Smt_util String

@@ -1,0 +1,1 @@
+lib/route/parasitics.mli: Smt_cell Smt_netlist Smt_place Smt_sta

@@ -1,0 +1,12 @@
+module Tech = Smt_cell.Tech
+
+(* Saturating exposure: length/(length+200). *)
+let coupling_fraction ~length =
+  let length = Float.max 0.0 length in
+  length /. (length +. 200.0)
+
+let noise_mv tech ~length =
+  (* Noise scales with coupled charge ratio times the supply. *)
+  coupling_fraction ~length *. tech.Tech.vdd *. 1000.0 *. 0.25
+
+let vgnd_ok tech ~length = length <= tech.Tech.vgnd_length_limit

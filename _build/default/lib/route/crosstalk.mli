@@ -1,0 +1,16 @@
+(** Crosstalk exposure of long wires.
+
+    The paper constrains VGND line length because "a long VGND line tends
+    to suffer from the crosstalk".  We model coupling exposure as the
+    fraction of a wire's length running parallel to aggressors at minimum
+    pitch — monotone in length — and declare a wire safe when it stays
+    under the technology's [vgnd_length_limit]. *)
+
+val coupling_fraction : length:float -> float
+(** In [0, 1); grows with length, ~0.5 at 200um. *)
+
+val noise_mv : Smt_cell.Tech.t -> length:float -> float
+(** Peak coupled noise in millivolts for a victim of the given length. *)
+
+val vgnd_ok : Smt_cell.Tech.t -> length:float -> bool
+(** The clustering constraint: VGND line length within the limit. *)

@@ -1,0 +1,131 @@
+module Netlist = Smt_netlist.Netlist
+module Placement = Smt_place.Placement
+module Geom = Smt_util.Geom
+module Rng = Smt_util.Rng
+module Tech = Smt_cell.Tech
+module Cell = Smt_cell.Cell
+module Library = Smt_cell.Library
+module Wire = Smt_sta.Wire
+
+type corner = Estimated | Extracted
+
+type net_rc = { length : float; cap : float; res : float }
+
+type t = {
+  which : corner;
+  by_net : net_rc array;  (* indexed by net id *)
+  tech : Tech.t;
+}
+
+let corner t = t.which
+
+let slot t nid =
+  if nid >= 0 && nid < Array.length t.by_net then Some t.by_net.(nid) else None
+
+let net_length t nid = match slot t nid with Some rc -> rc.length | None -> 0.0
+let net_cap t nid = match slot t nid with Some rc -> rc.cap | None -> 0.0
+let net_res t nid = match slot t nid with Some rc -> rc.res | None -> 0.0
+
+let total_wirelength t = Array.fold_left (fun acc rc -> acc +. rc.length) 0.0 t.by_net
+
+let of_lengths tech which lengths =
+  let price len =
+    { length = len; cap = len *. tech.Tech.wire_c_per_um; res = len *. tech.Tech.wire_r_per_um }
+  in
+  { which; by_net = Array.map price lengths; tech }
+
+let tech_of place = Library.tech (Netlist.lib (Placement.netlist place))
+
+let estimate ?(seed = 1234) place =
+  let nl = Placement.netlist place in
+  let tech = tech_of place in
+  let rng = Rng.create seed in
+  let n = Netlist.net_count nl in
+  let lengths =
+    Array.init n (fun nid ->
+        (* Deterministic per-net error: the estimator is optimistic on some
+           nets and pessimistic on others. *)
+        let err = Rng.float_in rng (-.tech.Tech.rc_estimation_error) tech.Tech.rc_estimation_error in
+        Placement.net_hpwl place nid *. (1.0 +. err))
+  in
+  of_lengths tech Estimated lengths
+
+let extract ?(detour = 1.15) place =
+  let nl = Placement.netlist place in
+  let tech = tech_of place in
+  let n = Netlist.net_count nl in
+  let lengths =
+    Array.init n (fun nid ->
+        let pts = Placement.pin_points place nid in
+        Geom.spanning_length pts *. detour)
+  in
+  of_lengths tech Extracted lengths
+
+(* ohm * fF = 1e-3 ps *)
+let rc_ps r_ohm c_ff = r_ohm *. c_ff *. 1e-3
+
+let wire_model t nl =
+  let net_cap nid = net_cap t nid in
+  let net_delay nid (pin : Netlist.pin) =
+    let r = net_res t nid and c = net_cap nid in
+    let sink_cap = (Netlist.cell nl pin.Netlist.inst).Cell.input_cap in
+    (* Elmore with the lumped-T approximation: the sink sees half the wire
+       capacitance through the full wire resistance plus its own pin cap. *)
+    rc_ps r ((0.5 *. c) +. sink_cap)
+  in
+  { Wire.net_cap; Wire.net_delay }
+
+let to_spef t nl =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "*SPEF \"selective-mt subset\"\n";
+  Buffer.add_string b (Printf.sprintf "*DESIGN %s\n" (Netlist.design_name nl));
+  Buffer.add_string b
+    (Printf.sprintf "*CORNER %s\n"
+       (match t.which with Estimated -> "estimated" | Extracted -> "extracted"));
+  Array.iteri
+    (fun nid rc ->
+      if rc.length > 0.0 then begin
+        Buffer.add_string b
+          (Printf.sprintf "*D_NET %s %.4f\n" (Netlist.net_name nl nid) rc.cap);
+        Buffer.add_string b (Printf.sprintf "*R %.4f\n" rc.res);
+        Buffer.add_string b (Printf.sprintf "*L %.4f\n" rc.length);
+        Buffer.add_string b "*END\n"
+      end)
+    t.by_net;
+  Buffer.contents b
+
+let of_spef ~lib nl text =
+  let tech = Library.tech lib in
+  let by_net = Array.make (Netlist.net_count nl) { length = 0.0; cap = 0.0; res = 0.0 } in
+  let which = ref Extracted in
+  let current = ref None in
+  let lines = String.split_on_char '\n' text in
+  let parse_float s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "Parasitics.of_spef: bad number %S" s)
+  in
+  List.iter
+    (fun line ->
+      let words = String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") in
+      match words with
+      | [ "*CORNER"; "estimated" ] -> which := Estimated
+      | [ "*CORNER"; "extracted" ] -> which := Extracted
+      | [ "*D_NET"; name; cap ] -> (
+        match Netlist.find_net nl name with
+        | Some nid ->
+          current := Some nid;
+          by_net.(nid) <- { (by_net.(nid)) with cap = parse_float cap }
+        | None -> failwith (Printf.sprintf "Parasitics.of_spef: unknown net %s" name))
+      | [ "*R"; res ] -> (
+        match !current with
+        | Some nid -> by_net.(nid) <- { (by_net.(nid)) with res = parse_float res }
+        | None -> failwith "Parasitics.of_spef: *R outside *D_NET")
+      | [ "*L"; len ] -> (
+        match !current with
+        | Some nid -> by_net.(nid) <- { (by_net.(nid)) with length = parse_float len }
+        | None -> failwith "Parasitics.of_spef: *L outside *D_NET")
+      | [ "*END" ] -> current := None
+      | _ -> ())
+    lines;
+  { which = !which; by_net; tech }

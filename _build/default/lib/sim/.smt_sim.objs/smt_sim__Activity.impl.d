@@ -1,0 +1,1 @@
+lib/sim/activity.ml: Array List Logic Simulator Smt_netlist Smt_util

@@ -1,0 +1,1 @@
+lib/sim/activity.mli: Smt_netlist

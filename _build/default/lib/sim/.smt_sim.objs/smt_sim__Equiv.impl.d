@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: List Logic Simulator Smt_cell Smt_netlist Smt_util

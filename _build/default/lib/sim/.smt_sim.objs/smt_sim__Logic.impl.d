@@ -1,0 +1,1 @@
+lib/sim/logic.ml: Array Bool List Smt_cell

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Hashtbl List Logic Printf Smt_cell Smt_netlist

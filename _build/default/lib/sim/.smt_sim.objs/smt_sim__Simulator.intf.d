@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Logic Smt_netlist

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char Fun Hashtbl List Logic Printf Simulator Smt_netlist String

@@ -1,0 +1,44 @@
+module Netlist = Smt_netlist.Netlist
+module Rng = Smt_util.Rng
+
+type t = {
+  toggles_per_cycle : float array;
+  cycles : int;
+}
+
+let estimate ?(cycles = 200) ?(seed = 7) nl =
+  let sim = Simulator.create nl in
+  let rng = Rng.create seed in
+  let n = Netlist.inst_count nl in
+  let toggles = Array.make n 0 in
+  let last = Array.make n Logic.X in
+  let names =
+    Netlist.inputs nl
+    |> List.filter (fun (_, nid) -> not (Netlist.is_clock_net nl nid))
+    |> List.map fst
+  in
+  Simulator.reset sim;
+  for cycle = 0 to cycles - 1 do
+    let vector = List.map (fun name -> (name, Logic.of_bool (Rng.bool rng))) names in
+    Simulator.set_inputs sim vector;
+    Simulator.propagate sim;
+    Netlist.iter_insts nl (fun iid ->
+        match Netlist.output_net nl iid with
+        | None -> ()
+        | Some out ->
+          let v = Simulator.value sim out in
+          if cycle > 0 && (not (Logic.equal v last.(iid))) then
+            toggles.(iid) <- toggles.(iid) + 1;
+          last.(iid) <- v);
+    Simulator.clock_edge sim
+  done;
+  let denom = float_of_int (max 1 (cycles - 1)) in
+  { toggles_per_cycle = Array.map (fun c -> float_of_int c /. denom) toggles; cycles }
+
+let factor t iid =
+  if iid < Array.length t.toggles_per_cycle then t.toggles_per_cycle.(iid) else 0.0
+
+let average t =
+  let n = Array.length t.toggles_per_cycle in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 t.toggles_per_cycle /. float_of_int n

@@ -1,0 +1,88 @@
+module Netlist = Smt_netlist.Netlist
+module Rng = Smt_util.Rng
+module Func = Smt_cell.Func
+
+type result = Equivalent | Mismatch of { vector : (string * Logic.value) list; output : string }
+
+let data_inputs nl =
+  Netlist.inputs nl |> List.filter (fun (_, nid) -> not (Netlist.is_clock_net nl nid))
+
+let interface nl =
+  ( List.map fst (data_inputs nl) |> List.sort compare,
+    List.map fst (Netlist.outputs nl) |> List.sort compare )
+
+let has_ff nl =
+  List.exists
+    (fun iid -> (Netlist.cell nl iid).Smt_cell.Cell.kind = Func.Dff)
+    (Netlist.live_insts nl)
+
+let compare_outputs sa sb vector =
+  let out_a = Simulator.output_values sa and out_b = Simulator.output_values sb in
+  let mismatch =
+    List.find_opt
+      (fun (name, va) ->
+        match List.assoc_opt name out_b with
+        | Some vb -> not (Logic.equal va vb)
+        | None -> true)
+      out_a
+  in
+  match mismatch with
+  | Some (name, _) -> Some (Mismatch { vector; output = name })
+  | None -> None
+
+let check ?(cycles = 8) ?(vectors = 256) ?(seed = 42) a b =
+  if interface a <> interface b then
+    invalid_arg "Equiv.check: primary interfaces differ";
+  let sa = Simulator.create a and sb = Simulator.create b in
+  let names = List.map fst (data_inputs a) in
+  let apply vector =
+    Simulator.set_inputs sa vector;
+    Simulator.set_inputs sb vector;
+    Simulator.propagate sa;
+    Simulator.propagate sb
+  in
+  let exhaustive = List.length names <= 12 && (not (has_ff a)) && not (has_ff b) in
+  if exhaustive then begin
+    let n = List.length names in
+    let rec loop mask =
+      if mask >= 1 lsl n then Equivalent
+      else begin
+        let vector =
+          List.mapi (fun i name -> (name, Logic.of_bool (mask land (1 lsl i) <> 0))) names
+        in
+        apply vector;
+        match compare_outputs sa sb vector with
+        | Some m -> m
+        | None -> loop (mask + 1)
+      end
+    in
+    loop 0
+  end
+  else begin
+    let rng = Rng.create seed in
+    let rec sequences remaining =
+      if remaining = 0 then Equivalent
+      else begin
+        Simulator.reset sa;
+        Simulator.reset sb;
+        let rec run cycle =
+          if cycle = 0 then None
+          else begin
+            let vector = List.map (fun name -> (name, Logic.of_bool (Rng.bool rng))) names in
+            apply vector;
+            match compare_outputs sa sb vector with
+            | Some m -> Some m
+            | None ->
+              Simulator.clock_edge sa;
+              Simulator.clock_edge sb;
+              run (cycle - 1)
+          end
+        in
+        match run cycles with Some m -> m | None -> sequences (remaining - 1)
+      end
+    in
+    sequences vectors
+  end
+
+let equivalent ?cycles ?vectors ?seed a b =
+  match check ?cycles ?vectors ?seed a b with Equivalent -> true | Mismatch _ -> false

@@ -1,0 +1,33 @@
+module Func = Smt_cell.Func
+
+type value = F | T | X
+
+let of_bool b = if b then T else F
+let to_bool_opt = function F -> Some false | T -> Some true | X -> None
+let to_char = function F -> '0' | T -> '1' | X -> 'x'
+let equal a b = match (a, b) with
+  | F, F | T, T | X, X -> true
+  | (F | T | X), _ -> false
+
+(* Exact X-propagation: enumerate completions of the X inputs (arity <= 4
+   in this library, so at most 16 cases) and check whether the boolean
+   output is insensitive to them. *)
+let eval kind inputs =
+  let n = Array.length inputs in
+  let xs = ref [] in
+  for i = n - 1 downto 0 do
+    if inputs.(i) = X then xs := i :: !xs
+  done;
+  match !xs with
+  | [] -> of_bool (Func.eval kind (Array.map (fun v -> v = T) inputs))
+  | unknowns ->
+    let k = List.length unknowns in
+    let bools = Array.map (fun v -> v = T) inputs in
+    let results = ref [] in
+    for mask = 0 to (1 lsl k) - 1 do
+      List.iteri (fun j idx -> bools.(idx) <- mask land (1 lsl j) <> 0) unknowns;
+      results := Func.eval kind bools :: !results
+    done;
+    (match !results with
+    | [] -> X
+    | r :: rest -> if List.for_all (Bool.equal r) rest then of_bool r else X)

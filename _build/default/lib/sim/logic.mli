@@ -1,0 +1,17 @@
+(** Three-valued logic: 0, 1, and X (unknown / floating).
+
+    X models the floating output of an MT-cell in standby before an output
+    holder is attached — exactly the "unexpected power" hazard the paper's
+    holders exist to prevent. Evaluation is exact: an output is X only if
+    the two completions of the X inputs disagree. *)
+
+type value = F | T | X
+
+val of_bool : bool -> value
+val to_bool_opt : value -> bool option
+val to_char : value -> char
+val equal : value -> value -> bool
+
+val eval : Smt_cell.Func.kind -> value array -> value
+(** X-aware evaluation of a combinational kind. Raises like
+    [Func.eval] on bad arity / non-combinational kinds. *)

@@ -1,0 +1,114 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+
+type mode = Active | Standby
+
+type t = {
+  nl : Netlist.t;
+  order : Netlist.inst_id list;
+  values : Logic.value array;  (* indexed by net id *)
+  ff_q : (Netlist.inst_id, Logic.value) Hashtbl.t;
+}
+
+let create nl =
+  {
+    nl;
+    order = Netlist.topo_order nl;
+    values = Array.make (Netlist.net_count nl) Logic.X;
+    ff_q = Hashtbl.create 97;
+  }
+
+let netlist t = t.nl
+
+let set_input t nid v =
+  if not (Netlist.is_pi t.nl nid) then
+    invalid_arg
+      (Printf.sprintf "Simulator.set_input: %s is not a primary input"
+         (Netlist.net_name t.nl nid));
+  t.values.(nid) <- v
+
+let set_inputs t bindings =
+  List.iter
+    (fun (name, v) ->
+      match Netlist.find_net t.nl name with
+      | Some nid -> set_input t nid v
+      | None -> invalid_arg (Printf.sprintf "Simulator.set_inputs: no net %s" name))
+    bindings
+
+let ff_state t iid =
+  match Hashtbl.find_opt t.ff_q iid with Some v -> v | None -> Logic.F
+
+let set_ff_state t iid v = Hashtbl.replace t.ff_q iid v
+
+let eval_inst t mode iid =
+  let cell = Netlist.cell t.nl iid in
+  match cell.Cell.kind with
+  | Func.Dff | Func.Sleep_switch | Func.Holder -> ()
+  | k ->
+    (match Netlist.output_net t.nl iid with
+    | None -> ()
+    | Some out ->
+      let names = Func.input_names k in
+      let ins =
+        Array.map
+          (fun pin ->
+            match Netlist.pin_net t.nl iid pin with
+            | Some nid -> t.values.(nid)
+            | None -> Logic.X)
+          names
+      in
+      let v = Logic.eval k ins in
+      let v =
+        match mode with
+        | Active -> v
+        | Standby ->
+          (* MT logic is cut from ground: its output floats, unless a
+             holder (embedded or attached to the net) keeps it at 1. *)
+          if Cell.is_mt cell then
+            match cell.Cell.style with
+            | Smt_cell.Vth.Mt_embedded -> Logic.T
+            | Smt_cell.Vth.Mt_vgnd | Smt_cell.Vth.Mt_no_vgnd ->
+              if Netlist.holder_of t.nl out <> None then Logic.T else Logic.X
+            | Smt_cell.Vth.Plain -> v
+          else v
+      in
+      t.values.(out) <- v)
+
+let propagate ?(mode = Active) t =
+  (* Seed flip-flop outputs from state. *)
+  Netlist.iter_insts t.nl (fun iid ->
+      let cell = Netlist.cell t.nl iid in
+      if cell.Cell.kind = Func.Dff then
+        match Netlist.pin_net t.nl iid "Q" with
+        | Some q -> t.values.(q) <- ff_state t iid
+        | None -> ());
+  List.iter (eval_inst t mode) t.order
+
+let clock_edge t =
+  let latched = ref [] in
+  Netlist.iter_insts t.nl (fun iid ->
+      let cell = Netlist.cell t.nl iid in
+      if cell.Cell.kind = Func.Dff then
+        match Netlist.pin_net t.nl iid "D" with
+        | Some d -> latched := (iid, t.values.(d)) :: !latched
+        | None -> ());
+  List.iter (fun (iid, v) -> set_ff_state t iid v) !latched
+
+let value t nid = t.values.(nid)
+
+let output_values t =
+  List.map (fun (name, nid) -> (name, t.values.(nid))) (Netlist.outputs t.nl)
+
+let reset ?(state = Logic.F) t =
+  Hashtbl.reset t.ff_q;
+  Netlist.iter_insts t.nl (fun iid ->
+      if (Netlist.cell t.nl iid).Cell.kind = Func.Dff then Hashtbl.replace t.ff_q iid state);
+  Array.fill t.values 0 (Array.length t.values) Logic.X
+
+let floating_nets t =
+  let acc = ref [] in
+  Netlist.iter_nets t.nl (fun nid ->
+      if t.values.(nid) = Logic.X && (Netlist.driver t.nl nid <> None || Netlist.is_pi t.nl nid)
+      then acc := nid :: !acc);
+  List.rev !acc

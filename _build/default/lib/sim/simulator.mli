@@ -1,0 +1,41 @@
+(** Levelized netlist simulator.
+
+    Active mode evaluates the logic as usual.  Standby mode models the
+    sleep state: every MT-cell's output floats (X) — unless the net carries
+    an output holder, which forces it to 1, the holder polarity the paper
+    specifies — while plain high-Vth cells keep evaluating whatever reaches
+    them.  This lets tests observe exactly the floating-input hazard that
+    holder insertion must eliminate. *)
+
+type mode = Active | Standby
+
+type t
+
+val create : Smt_netlist.Netlist.t -> t
+(** Builds the evaluation order once. Raises [Smt_netlist.Netlist.Combinational_cycle]. *)
+
+val netlist : t -> Smt_netlist.Netlist.t
+
+val set_input : t -> Smt_netlist.Netlist.net_id -> Logic.value -> unit
+(** Only primary-input nets may be set; raises [Invalid_argument]. *)
+
+val set_inputs : t -> (string * Logic.value) list -> unit
+(** By port name; unknown names raise [Invalid_argument]. *)
+
+val propagate : ?mode:mode -> t -> unit
+(** Combinational settle from current inputs and flip-flop states. *)
+
+val clock_edge : t -> unit
+(** Latch every flip-flop's D into its state (call after [propagate]). *)
+
+val value : t -> Smt_netlist.Netlist.net_id -> Logic.value
+val output_values : t -> (string * Logic.value) list
+
+val ff_state : t -> Smt_netlist.Netlist.inst_id -> Logic.value
+val set_ff_state : t -> Smt_netlist.Netlist.inst_id -> Logic.value -> unit
+val reset : ?state:Logic.value -> t -> unit
+(** Reset flip-flop states (default all 0) and clear net values. *)
+
+val floating_nets : t -> Smt_netlist.Netlist.net_id list
+(** After a standby [propagate]: nets that settle to X — the nets whose
+    downstream leakage the paper's holders suppress. *)

@@ -1,0 +1,87 @@
+module Netlist = Smt_netlist.Netlist
+
+type t = {
+  nl : Netlist.t;
+  nets : Netlist.net_id array;
+  codes : string array;
+  last : Logic.value option array;
+  mutable events : (int * int * Logic.value) list;  (* time, net index, value *)
+}
+
+(* VCD identifier codes: printable ASCII 33..126, then two-char codes. *)
+let code_of_index i =
+  let base = 94 in
+  let rec build i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i / base = 0 then acc else build ((i / base) - 1) acc
+  in
+  build i ""
+
+let create nl ~nets =
+  let seen = Hashtbl.create 97 in
+  let uniq =
+    List.filter
+      (fun nid ->
+        if Hashtbl.mem seen nid then false
+        else begin
+          Hashtbl.add seen nid ();
+          true
+        end)
+      nets
+  in
+  let nets = Array.of_list uniq in
+  {
+    nl;
+    nets;
+    codes = Array.mapi (fun i _ -> code_of_index i) nets;
+    last = Array.make (Array.length nets) None;
+    events = [];
+  }
+
+let of_ports nl =
+  let nets = List.map snd (Netlist.inputs nl) @ List.map snd (Netlist.outputs nl) in
+  create nl ~nets
+
+let sample t sim ~time =
+  Array.iteri
+    (fun i nid ->
+      let v = Simulator.value sim nid in
+      match t.last.(i) with
+      | Some prev when Logic.equal prev v -> ()
+      | Some _ | None ->
+        t.last.(i) <- Some v;
+        t.events <- (time, i, v) :: t.events)
+    t.nets
+
+let value_char = function Logic.F -> '0' | Logic.T -> '1' | Logic.X -> 'x'
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "$date reproduction run $end\n";
+  Buffer.add_string b "$version selective-mt simulator $end\n";
+  Buffer.add_string b "$timescale 1ps $end\n";
+  Buffer.add_string b (Printf.sprintf "$scope module %s $end\n" (Netlist.design_name t.nl));
+  Array.iteri
+    (fun i nid ->
+      Buffer.add_string b
+        (Printf.sprintf "$var wire 1 %s %s $end\n" t.codes.(i) (Netlist.net_name t.nl nid)))
+    t.nets;
+  Buffer.add_string b "$upscope $end\n$enddefinitions $end\n";
+  let events = List.rev t.events in
+  let current_time = ref min_int in
+  List.iter
+    (fun (time, i, v) ->
+      if time <> !current_time then begin
+        Buffer.add_string b (Printf.sprintf "#%d\n" time);
+        current_time := time
+      end;
+      Buffer.add_char b (value_char v);
+      Buffer.add_string b t.codes.(i);
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+let to_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

@@ -1,0 +1,23 @@
+(** VCD (value-change dump) recording of simulation runs.
+
+    Samples named nets after each [Simulator] evaluation and emits a
+    standard IEEE-1364 VCD text that waveform viewers open directly; X
+    values map to ['x'].  Useful for debugging the standby/holder behaviour
+    visually. *)
+
+type t
+
+val create : Smt_netlist.Netlist.t -> nets:Smt_netlist.Netlist.net_id list -> t
+(** Record the given nets (deduplicated, order preserved). *)
+
+val of_ports : Smt_netlist.Netlist.t -> t
+(** Record every primary input and output. *)
+
+val sample : t -> Simulator.t -> time:int -> unit
+(** Capture the simulator's current values at the given timestamp (times
+    must be non-decreasing; only changed values are stored). *)
+
+val to_string : t -> string
+(** Render the VCD document. *)
+
+val to_file : t -> string -> unit

@@ -1,0 +1,1 @@
+lib/sta/sdf.ml: Array Buffer Fun List Printf Smt_cell Smt_netlist Sta

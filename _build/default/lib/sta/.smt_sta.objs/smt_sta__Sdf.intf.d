@@ -1,0 +1,1 @@
+lib/sta/sdf.mli: Sta

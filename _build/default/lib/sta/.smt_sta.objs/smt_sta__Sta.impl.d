@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Float List Queue Smt_cell Smt_netlist Wire

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Smt_cell Smt_netlist Wire

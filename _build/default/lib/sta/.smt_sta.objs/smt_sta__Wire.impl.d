@@ -1,0 +1,1 @@
+lib/sta/wire.ml: Smt_netlist

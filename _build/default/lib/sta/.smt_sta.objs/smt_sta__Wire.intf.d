@@ -1,0 +1,1 @@
+lib/sta/wire.mli: Smt_netlist

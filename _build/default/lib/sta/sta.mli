@@ -1,0 +1,107 @@
+(** Block-based static timing analysis.
+
+    Setup model: data launched at flip-flop clock pins (or primary inputs at
+    time [input_arrival]) must arrive at capturing flip-flop D pins by
+    [clock_period - setup + clock_latency] and at primary outputs by
+    [clock_period - output_margin].  Hold model: the earliest arrival at a D
+    pin must exceed [clock_latency + hold + hold_margin].
+
+    MT-cells are derated by the voltage bounce of their virtual-ground line
+    ([bounce_of]), which is how the switch-sizing constraint ("bounce below
+    the designer's limit") connects to timing closure. *)
+
+type config = {
+  clock_period : float;  (** ps *)
+  wire : Wire.t;
+  bounce_of : Smt_netlist.Netlist.inst_id -> float;  (** volts on the cell's VGND *)
+  clock_latency : Smt_netlist.Netlist.inst_id -> float;  (** ps to each FF clock pin *)
+  input_arrival : float;
+  output_margin : float;
+  hold_margin : float;
+  slew_model : Smt_cell.Nldm.store option;
+      (** when set, delays come from NLDM tables and slew propagates;
+          when [None], the plain linear model is used (slew-less) *)
+}
+
+val config : ?wire:Wire.t -> ?slew_aware:bool -> clock_period:float -> unit -> config
+(** Defaults: ideal wires, zero bounce, zero clock latency and margins,
+    linear (slew-less) delays. [slew_aware:true] enables the NLDM path. *)
+
+type endpoint_kind =
+  | Ff_data of Smt_netlist.Netlist.inst_id
+  | Primary_output of string
+
+type endpoint = {
+  kind : endpoint_kind;
+  net : Smt_netlist.Netlist.net_id;
+  arrival : float;
+  required : float;
+  slack : float;
+  hold_slack : float;
+}
+
+type t
+
+val analyze : config -> Smt_netlist.Netlist.t -> t
+(** Raises [Smt_netlist.Netlist.Combinational_cycle] on cyclic logic. *)
+
+val netlist : t -> Smt_netlist.Netlist.t
+
+val arrival : t -> Smt_netlist.Netlist.net_id -> float
+(** Worst (max) arrival at the net's driver output; 0 for clock nets. *)
+
+val slew : t -> Smt_netlist.Netlist.net_id -> float
+(** Output slew at the net's driver (the default input slew under the
+    linear model or at sources). *)
+
+val required : t -> Smt_netlist.Netlist.net_id -> float
+val net_slack : t -> Smt_netlist.Netlist.net_id -> float
+
+val inst_slack : t -> Smt_netlist.Netlist.inst_id -> float
+(** Setup slack of the instance's output net; [infinity] when it has none
+    (flip-flops report the min of their D-endpoint and Q-net slacks). *)
+
+val endpoints : t -> endpoint list
+val wns : t -> float
+(** Worst negative slack (positive when timing is met: this is the worst
+    slack, whatever its sign). *)
+
+val tns : t -> float
+(** Total negative slack (0 when met). *)
+
+val worst_hold_slack : t -> float
+val meets_timing : t -> bool
+val meets_hold : t -> bool
+
+val load_of_net : config -> Smt_netlist.Netlist.t -> Smt_netlist.Netlist.net_id -> float
+(** Capacitive load seen by the net's driver (pins + wire), fF. *)
+
+val cell_delay : config -> Smt_netlist.Netlist.t -> Smt_netlist.Netlist.inst_id -> float
+(** The instance's gate delay into its current load, bounce included. *)
+
+val used_delay : t -> Smt_netlist.Netlist.inst_id -> float
+(** The delay the analysis actually used for the instance (slew effects
+    included under the NLDM model); 0 for instances with no output. *)
+
+type path_step = {
+  step_inst : Smt_netlist.Netlist.inst_id option;  (** [None] at a primary input *)
+  step_net : Smt_netlist.Netlist.net_id;
+  step_arrival : float;
+}
+
+val critical_path : t -> path_step list
+(** Worst setup path, launch to capture, empty if there are no endpoints. *)
+
+val path_to : t -> endpoint -> path_step list
+(** Backtrace of the worst path into the given endpoint. *)
+
+val worst_endpoints : t -> int -> endpoint list
+(** The [k] smallest-slack endpoints, ascending by slack. *)
+
+val update : t -> changed:Smt_netlist.Netlist.inst_id list -> t
+(** Incremental re-analysis after cell swaps that do not alter connectivity
+    (Vth/MT restyling, drive resizing): arrivals are recomputed only inside
+    the downstream cone of the changed instances — plus the fanin cones of
+    cells whose load changed — and required times are rebuilt.  The result
+    equals [analyze cfg nl] on the mutated netlist.  Topology changes
+    (added/removed instances or rewired pins) require a fresh [analyze]. *)

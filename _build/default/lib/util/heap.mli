@@ -1,0 +1,25 @@
+(** Binary min-heap over a caller-supplied ordering.
+
+    Used for K-worst path extraction in STA and net ordering in the
+    router. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap; [cmp] orders elements, smallest popped first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum. *)
+
+val peek : 'a t -> 'a option
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Heapify in O(n). *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap; ascending order. *)

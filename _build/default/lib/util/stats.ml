@@ -1,0 +1,49 @@
+let total = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> total xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let lo = max 0 (min lo (n - 1)) and hi = max 0 (min hi (n - 1)) in
+    let frac = rank -. floor rank in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let ratio_pct v base = if base = 0.0 then nan else 100.0 *. v /. base
+
+let histogram ~bins xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let lo, hi = min_max xs in
+    let span = if hi > lo then hi -. lo else 1.0 in
+    let width = span /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    let place x =
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = max 0 (min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1
+    in
+    List.iter place xs;
+    List.init bins (fun i ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), counts.(i)))

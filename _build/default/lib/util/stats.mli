@@ -1,0 +1,22 @@
+(** Descriptive statistics over float samples, for reports and benches. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0. on fewer than two samples. *)
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100], linear interpolation.
+    Raises [Invalid_argument] on the empty list. *)
+
+val total : float list -> float
+
+val ratio_pct : float -> float -> float
+(** [ratio_pct v base] is [100 * v / base]; [nan] if [base = 0]. *)
+
+val histogram : bins:int -> float list -> (float * float * int) list
+(** Equal-width bins as [(lo, hi, count)]; empty list gives []. *)

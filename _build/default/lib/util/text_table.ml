@@ -1,0 +1,37 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let all = header :: rows in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all)
+  in
+  let align_of c =
+    match List.nth_opt aligns c with Some a -> a | None -> Left
+  in
+  let fmt_row row =
+    let cells = List.mapi (fun c s -> pad (align_of c) (List.nth widths c) s) row in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    let dashes = List.map (fun w -> String.make (w + 2) '-') widths in
+    "+" ^ String.concat "+" dashes ^ "+"
+  in
+  let body = List.map fmt_row rows in
+  String.concat "\n" ((sep :: fmt_row header :: sep :: body) @ [ sep ])
+
+let pct v = Printf.sprintf "%.2f%%" v
+let f2 v = Printf.sprintf "%.2f" v

@@ -1,0 +1,14 @@
+(** Plain-text tables for flow reports and paper-table reproduction. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a boxed ASCII table. Columns default to
+    left alignment; [aligns] overrides per column. Rows shorter than the
+    header are padded with empty cells. *)
+
+val pct : float -> string
+(** Format a percentage as the paper prints them, e.g. ["133.18%"]. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,28 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the VGND clustering pass to merge MT-cell groups and by the
+    router to detect connected components. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets. No-op if already together. *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements share a set. *)
+
+val size : t -> int -> int
+(** Number of elements in the element's set. *)
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val groups : t -> int list array
+(** [groups t] lists members per representative; entry is [[]] for
+    non-representatives. *)

@@ -1,0 +1,66 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Vec: index %d out of [0,%d)" i t.len)
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let find_index p t =
+  let rec loop i = if i >= t.len then None else if p t.data.(i) then Some i else loop (i + 1) in
+  loop 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let of_list l =
+  let t = create () in
+  List.iter (fun x -> ignore (push t x)) l;
+  t
+
+let map_to_list f t = List.init t.len (fun i -> f t.data.(i))

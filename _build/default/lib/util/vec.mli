@@ -1,0 +1,27 @@
+(** Growable array (OCaml 5.1 has no stdlib Dynarray yet).
+
+    Backbone of the netlist graph: instances and nets are appended during
+    construction and indexed by dense integer ids. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> int
+(** Append and return the new element's index. *)
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val find_index : ('a -> bool) -> 'a t -> int option
+val to_list : 'a t -> 'a list
+val of_list : 'a list -> 'a t
+val map_to_list : ('a -> 'b) -> 'a t -> 'b list

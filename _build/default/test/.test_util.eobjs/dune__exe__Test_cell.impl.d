@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array List Printf Smt_cell

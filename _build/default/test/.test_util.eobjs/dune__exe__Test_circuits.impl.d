@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest List Printf Smt_cell Smt_circuits Smt_core Smt_netlist Smt_sim Smt_sta String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl List Option Printf Smt_cell Smt_circuits Smt_core Smt_netlist Smt_place Smt_power Smt_sim Smt_sta Smt_util

@@ -1,0 +1,1 @@
+test/test_cts.ml: Alcotest Float List Option Smt_cell Smt_circuits Smt_cts Smt_netlist Smt_place Smt_util

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Lazy List Smt_cell Smt_circuits Smt_core Smt_netlist Smt_sim String

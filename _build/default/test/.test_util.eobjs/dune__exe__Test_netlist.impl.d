@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Hashtbl List Option Printf Smt_cell Smt_circuits Smt_netlist Smt_sim Smt_sta String

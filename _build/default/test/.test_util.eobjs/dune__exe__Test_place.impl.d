@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Float Hashtbl List Option Smt_cell Smt_circuits Smt_netlist Smt_place Smt_util

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Float List Option Printf Smt_cell Smt_circuits Smt_core Smt_netlist Smt_power Smt_sim

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Float Fun Hashtbl List Printf QCheck2 QCheck_alcotest Smt_cell Smt_circuits Smt_core Smt_netlist Smt_place Smt_power Smt_route Smt_sim Smt_sta Smt_util

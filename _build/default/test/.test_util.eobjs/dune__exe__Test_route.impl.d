@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Float List Smt_cell Smt_circuits Smt_netlist Smt_place Smt_route Smt_sta

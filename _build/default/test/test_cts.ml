@@ -1,0 +1,127 @@
+module Netlist = Smt_netlist.Netlist
+module Placement = Smt_place.Placement
+module Cts = Smt_cts.Cts
+module Func = Smt_cell.Func
+module Cell = Smt_cell.Cell
+module Library = Smt_cell.Library
+module Generators = Smt_circuits.Generators
+module Check = Smt_netlist.Check
+
+let lib = Library.default ()
+
+let fixture ?(bits = 6) () =
+  let nl = Generators.multiplier ~name:"m" ~bits lib in
+  let place = Placement.place nl in
+  (nl, place)
+
+let ffs nl =
+  List.filter (fun i -> (Netlist.cell nl i).Cell.kind = Func.Dff) (Netlist.live_insts nl)
+
+let test_all_ck_pins_rewired () =
+  let nl, place = fixture () in
+  let _cts = Cts.synthesize place in
+  List.iter
+    (fun ff ->
+      match Netlist.pin_net nl ff "CK" with
+      | Some ck ->
+        Alcotest.(check bool) "on a clock-marked net" true (Netlist.is_clock_net nl ck);
+        Alcotest.(check bool) "not the raw root anymore" true
+          (Netlist.clock_net nl <> Some ck);
+        (match Netlist.driver nl ck with
+        | Some p ->
+          Alcotest.(check bool) "driven by a clock buffer" true
+            ((Netlist.cell nl p.Netlist.inst).Cell.kind = Func.Clkbuf)
+        | None -> Alcotest.fail "leaf clock net undriven")
+      | None -> Alcotest.fail "CK unconnected")
+    (ffs nl)
+
+let test_fanout_capped () =
+  let nl, place = fixture ~bits:8 () in
+  let cap = 6 in
+  let cts = Cts.synthesize ~max_fanout:cap place in
+  Alcotest.(check bool) "buffers exist" true (Cts.buffer_count cts > 0);
+  (* every clock net drives at most cap sinks *)
+  Netlist.iter_nets nl (fun nid ->
+      if Netlist.is_clock_net nl nid && Netlist.clock_net nl <> Some nid then
+        Alcotest.(check bool) "leaf fanout under cap" true
+          (List.length (Netlist.sinks nl nid) <= cap))
+
+let test_root_hangs_from_port () =
+  let nl, place = fixture () in
+  let _ = Cts.synthesize place in
+  let root = Option.get (Netlist.clock_net nl) in
+  Alcotest.(check int) "root drives exactly the top buffer" 1
+    (List.length (Netlist.sinks nl root))
+
+let test_latencies () =
+  let nl, place = fixture () in
+  let cts = Cts.synthesize place in
+  List.iter
+    (fun ff ->
+      let l = Cts.latency cts ff in
+      Alcotest.(check bool) "latency positive" true (l > 0.0))
+    (ffs nl);
+  Alcotest.(check bool) "skew = max - min" true
+    (Float.abs (Cts.skew cts -. (Cts.max_latency cts -. Cts.min_latency cts)) < 1e-9);
+  Alcotest.(check bool) "skew below max latency" true (Cts.skew cts <= Cts.max_latency cts);
+  Alcotest.(check (float 1e-9)) "unknown instance has zero latency" 0.0
+    (Cts.latency cts 999999)
+
+let test_netlist_still_valid () =
+  let nl, place = fixture () in
+  let _ = Cts.synthesize place in
+  Alcotest.(check (list string)) "valid after CTS" [] (Check.validate nl)
+
+let test_comb_design_empty_tree () =
+  let nl = Generators.c17 lib in
+  let place = Placement.place nl in
+  let cts = Cts.synthesize place in
+  Alcotest.(check int) "no buffers" 0 (Cts.buffer_count cts);
+  Alcotest.(check (float 1e-9)) "no skew" 0.0 (Cts.skew cts)
+
+let test_buffers_placed () =
+  let nl, place = fixture () in
+  let _ = Cts.synthesize place in
+  let die = Placement.die place in
+  List.iter
+    (fun iid ->
+      if (Netlist.cell nl iid).Cell.kind = Func.Clkbuf then
+        match Placement.inst_point_opt place iid with
+        | Some p -> Alcotest.(check bool) "in die" true (Smt_util.Geom.contains die p)
+        | None -> Alcotest.fail "clock buffer unplaced")
+    (Netlist.live_insts nl)
+
+let test_area_accounted () =
+  let nl, place = fixture () in
+  let before = Netlist.total_area nl in
+  let cts = Cts.synthesize place in
+  let after = Netlist.total_area nl in
+  Alcotest.(check (float 1e-6)) "area delta = buffer area" (Cts.buffer_area cts)
+    (after -. before)
+
+let test_levels_grow_with_ffs () =
+  let _, place_small = fixture ~bits:4 () in
+  let nl_big = Generators.multiplier ~name:"m2" ~bits:10 lib in
+  let place_big = Placement.place nl_big in
+  let small = Cts.synthesize ~max_fanout:4 place_small in
+  let big = Cts.synthesize ~max_fanout:4 place_big in
+  Alcotest.(check bool) "more flip-flops, at least as many levels" true
+    (Cts.levels big >= Cts.levels small)
+
+let () =
+  Alcotest.run "smt_cts"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "ck pins rewired" `Quick test_all_ck_pins_rewired;
+          Alcotest.test_case "fanout capped" `Quick test_fanout_capped;
+          Alcotest.test_case "root from port" `Quick test_root_hangs_from_port;
+          Alcotest.test_case "netlist valid" `Quick test_netlist_still_valid;
+          Alcotest.test_case "comb design" `Quick test_comb_design_empty_tree;
+          Alcotest.test_case "buffers placed" `Quick test_buffers_placed;
+          Alcotest.test_case "area accounted" `Quick test_area_accounted;
+          Alcotest.test_case "levels grow" `Quick test_levels_grow_with_ffs;
+        ] );
+      ( "latency",
+        [ Alcotest.test_case "latencies & skew" `Quick test_latencies ] );
+    ]

@@ -1,0 +1,326 @@
+module Netlist = Smt_netlist.Netlist
+module Leakage = Smt_power.Leakage
+module Bounce = Smt_power.Bounce
+module Em = Smt_power.Em
+module Activity = Smt_sim.Activity
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+module Cell = Smt_cell.Cell
+module Tech = Smt_cell.Tech
+module Library = Smt_cell.Library
+module Generators = Smt_circuits.Generators
+
+let lib = Library.default ()
+let tech = Library.tech lib
+
+let hv k = Library.variant lib k Vth.High Vth.Plain
+let mtv k = Library.variant lib k Vth.Low Vth.Mt_vgnd
+
+(* --- leakage accounting --- *)
+
+let test_breakdown_sums () =
+  let nl = Generators.multiplier ~name:"m" ~bits:5 lib in
+  let b = Leakage.standby nl in
+  let parts =
+    b.Leakage.low_vth_logic +. b.Leakage.high_vth_logic +. b.Leakage.sequential
+    +. b.Leakage.mt_residual +. b.Leakage.switches +. b.Leakage.embedded_mt
+    +. b.Leakage.holders +. b.Leakage.infrastructure
+  in
+  Alcotest.(check (float 1e-6)) "parts sum to total" b.Leakage.total parts
+
+let test_all_low_vth_is_leaky () =
+  let nl = Generators.c17 lib in
+  let b = Leakage.standby nl in
+  Alcotest.(check bool) "dominated by low-vth" true
+    (b.Leakage.low_vth_logic > 0.99 *. b.Leakage.total)
+
+let test_hv_swap_reduces () =
+  let nl = Generators.c17 lib in
+  let before = (Leakage.standby nl).Leakage.total in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      Netlist.replace_cell nl iid (Library.variant lib c.Cell.kind Vth.High Vth.Plain));
+  let after = (Leakage.standby nl).Leakage.total in
+  Alcotest.(check bool) "much lower" true (after < before /. 20.0)
+
+let test_mt_conversion_reduces () =
+  let nl = Generators.c17 lib in
+  let before = (Leakage.standby nl).Leakage.total in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      Netlist.replace_cell nl iid (Library.variant lib c.Cell.kind Vth.Low Vth.Mt_vgnd));
+  let b = Leakage.standby nl in
+  Alcotest.(check bool) "residual only" true (b.Leakage.total < before /. 20.0);
+  Alcotest.(check (float 1e-9)) "classified as MT" b.Leakage.total b.Leakage.mt_residual
+
+let test_active_vs_standby () =
+  let nl = Generators.c17 lib in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      Netlist.replace_cell nl iid (Library.variant lib c.Cell.kind Vth.Low Vth.Mt_vgnd));
+  (* MT saves in standby, not in active mode (logic stays powered) *)
+  Alcotest.(check bool) "active >> standby for MT circuit" true
+    (Leakage.active nl > 10.0 *. (Leakage.standby nl).Leakage.total)
+
+(* --- currents and bounce --- *)
+
+let mt_fixture n =
+  let nl = Netlist.create ~name:"fx" ~lib in
+  let mte = Netlist.add_input nl "MTE" in
+  let a = Netlist.add_input nl "a" in
+  let members =
+    List.init n (fun i ->
+        let z = Netlist.add_output nl (Printf.sprintf "z%d" i) in
+        Netlist.add_inst nl ~name:(Printf.sprintf "m%d" i) (mtv Func.Nand2)
+          [ ("A", a); ("B", a); ("Z", z) ])
+  in
+  (nl, mte, members)
+
+let test_simultaneous_current () =
+  let nl, _, members = mt_fixture 8 in
+  let i1 = Bounce.simultaneous_current nl ~members:[ List.hd members ] in
+  let i8 = Bounce.simultaneous_current nl ~members in
+  Alcotest.(check bool) "grows with members" true (i8 > i1);
+  (* single cell: exactly its peak *)
+  Alcotest.(check (float 1e-9)) "single = peak" (mtv Func.Nand2).Cell.peak_current i1;
+  (* diversity: far less than the sum of peaks *)
+  Alcotest.(check bool) "less than worst-case sum" true
+    (i8 < 8.0 *. (mtv Func.Nand2).Cell.peak_current);
+  Alcotest.(check (float 1e-9)) "empty cluster" 0.0
+    (Bounce.simultaneous_current nl ~members:[])
+
+let test_sustained_below_simultaneous () =
+  let nl, _, members = mt_fixture 10 in
+  Alcotest.(check bool) "sustained <= simultaneous" true
+    (Bounce.sustained_current nl ~members <= Bounce.simultaneous_current nl ~members)
+
+let test_activity_reduces_current () =
+  let nl = Generators.c17 lib in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      Netlist.replace_cell nl iid (Library.variant lib c.Cell.kind Vth.Low Vth.Mt_vgnd));
+  let members = Netlist.live_insts nl in
+  let act = Activity.estimate ~cycles:100 nl in
+  let with_act = Bounce.simultaneous_current ~activity:act nl ~members in
+  let without = Bounce.simultaneous_current nl ~members in
+  (* default toggle assumption is 0.5, measured activity is typically lower *)
+  Alcotest.(check bool) "measured activity tightens the estimate" true (with_act <= without)
+
+let test_bounce_formula () =
+  let b = Bounce.bounce_v tech ~switch_width:2.0 ~wire_length:0.0 ~current_ua:10.0 in
+  let r = Tech.switch_resistance tech ~width:2.0 in
+  Alcotest.(check (float 1e-9)) "I*R" (10.0 *. 1e-6 *. r) b;
+  Alcotest.(check (float 1e-9)) "zero current" 0.0
+    (Bounce.bounce_v tech ~switch_width:2.0 ~wire_length:100.0 ~current_ua:0.0);
+  let with_wire = Bounce.bounce_v tech ~switch_width:2.0 ~wire_length:300.0 ~current_ua:10.0 in
+  Alcotest.(check bool) "wire adds bounce" true (with_wire > b)
+
+let test_wider_switch_less_bounce () =
+  let narrow = Bounce.bounce_v tech ~switch_width:1.0 ~wire_length:50.0 ~current_ua:20.0 in
+  let wide = Bounce.bounce_v tech ~switch_width:8.0 ~wire_length:50.0 ~current_ua:20.0 in
+  Alcotest.(check bool) "wider is quieter" true (wide < narrow)
+
+let test_analyze_clusters () =
+  let nl, mte, members = mt_fixture 6 in
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:4.0) [ ("MTE", mte) ] in
+  List.iter (fun m -> Netlist.set_vgnd_switch nl m (Some sw)) members;
+  let reports = Bounce.analyze nl ~wire_length_of:(fun _ -> 40.0) in
+  (match reports with
+  | [ r ] ->
+    Alcotest.(check int) "member count" 6 r.Bounce.members;
+    Alcotest.(check bool) "bounce positive" true (r.Bounce.bounce > 0.0);
+    Alcotest.(check (float 1e-9)) "wire length passed through" 40.0 r.Bounce.wire_length
+  | _ -> Alcotest.fail "expected one cluster");
+  Alcotest.(check bool) "worst >= 0" true (Bounce.worst reports >= 0.0)
+
+let test_bounce_of_fn () =
+  let nl, mte, members = mt_fixture 4 in
+  (* undersized switch: clearly bouncing *)
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:0.2) [ ("MTE", mte) ] in
+  List.iter (fun m -> Netlist.set_vgnd_switch nl m (Some sw)) members;
+  let reports = Bounce.analyze nl ~wire_length_of:(fun _ -> 0.0) in
+  let f = Bounce.bounce_of_fn reports nl in
+  List.iter
+    (fun m -> Alcotest.(check bool) "member sees cluster bounce" true (f m > 0.0))
+    members;
+  Alcotest.(check int) "violations counted" 1 (Bounce.violations reports);
+  (* a plain cell sees none *)
+  let z = Netlist.add_output nl "zz" in
+  let plain =
+    Netlist.add_inst nl ~name:"p" (hv Func.Inv)
+      [ ("A", Option.get (Netlist.find_net nl "a")); ("Z", z) ]
+  in
+  Alcotest.(check (float 1e-9)) "plain sees zero" 0.0 (f plain)
+
+let test_embedded_bounce_at_limit () =
+  let nl = Netlist.create ~name:"e" ~lib in
+  let a = Netlist.add_input nl "a" in
+  let z = Netlist.add_output nl "z" in
+  let mte = Netlist.add_input nl "MTE" in
+  let emb = Library.variant lib Func.Nand2 Vth.Low Vth.Mt_embedded in
+  let g = Netlist.add_inst nl ~name:"g" emb [ ("A", a); ("B", a); ("Z", z); ("MTE", mte) ] in
+  let f = Bounce.bounce_of_fn [] nl in
+  let b = f g in
+  Alcotest.(check bool) "embedded bounce positive" true (b > 0.0);
+  Alcotest.(check bool) "within the limit (guardbanded)" true
+    (b <= tech.Tech.bounce_limit +. 1e-9)
+
+(* --- dynamic power --- *)
+
+module Dynamic = Smt_power.Dynamic
+
+let test_dynamic_scales_with_frequency () =
+  let nl = Generators.multiplier ~name:"dp" ~bits:5 lib in
+  let slow = Dynamic.estimate ~clock_mhz:100.0 nl in
+  let fast = Dynamic.estimate ~clock_mhz:400.0 nl in
+  Alcotest.(check (float 1e-9)) "switching linear in f"
+    (4.0 *. slow.Dynamic.switching_mw) fast.Dynamic.switching_mw;
+  Alcotest.(check (float 1e-9)) "leakage floor frequency-independent"
+    slow.Dynamic.leakage_mw fast.Dynamic.leakage_mw;
+  Alcotest.(check (float 1e-9)) "total adds up"
+    (fast.Dynamic.switching_mw +. fast.Dynamic.leakage_mw) fast.Dynamic.total_mw
+
+let test_dynamic_with_activity () =
+  let nl = Generators.multiplier ~name:"dq" ~bits:5 lib in
+  let act = Activity.estimate ~cycles:64 nl in
+  let measured = Dynamic.estimate ~activity:act ~clock_mhz:200.0 nl in
+  let assumed = Dynamic.estimate ~clock_mhz:200.0 nl in
+  Alcotest.(check bool) "both positive" true
+    (measured.Dynamic.switching_mw > 0.0 && assumed.Dynamic.switching_mw > 0.0)
+
+let test_dynamic_untouched_by_mt () =
+  (* the MT transform keeps dynamic power essentially unchanged: same
+     logic, same activity, slightly different pin caps only *)
+  let gen () = Generators.multiplier ~name:"dr" ~bits:5 lib in
+  let plain = gen () in
+  let gated = gen () in
+  ignore (Smt_core.Flow.run Smt_core.Flow.Improved_smt gated);
+  let p = Dynamic.estimate ~clock_mhz:200.0 plain in
+  let g = Dynamic.estimate ~clock_mhz:200.0 gated in
+  Alcotest.(check bool) "within 35%" true
+    (Float.abs (g.Dynamic.switching_mw -. p.Dynamic.switching_mw)
+     /. p.Dynamic.switching_mw
+    < 0.35);
+  (* while standby leakage collapsed by an order of magnitude *)
+  Alcotest.(check bool) "standby story unchanged" true
+    ((Leakage.standby gated).Leakage.total < (Leakage.standby plain).Leakage.total /. 5.0)
+
+(* --- sleep vectors (state-dependent leakage) --- *)
+
+module Sleep_vector = Smt_power.Sleep_vector
+module Logic = Smt_sim.Logic
+
+let test_state_factor_bounds () =
+  List.iter
+    (fun kind ->
+      let arity = Func.arity kind in
+      for mask = 0 to (1 lsl arity) - 1 do
+        let inputs =
+          List.init arity (fun i -> Logic.of_bool (mask land (1 lsl i) <> 0))
+        in
+        let f = Sleep_vector.state_factor kind inputs in
+        Alcotest.(check bool) "within [0.4, 1.0]" true (f >= 0.4 && f <= 1.0)
+      done)
+    [ Func.Nand2; Func.Nor3; Func.Xor2; Func.Mux2; Func.Inv ];
+  (* all-ones stack: no series-off transistor, full leak *)
+  Alcotest.(check (float 1e-9)) "all-high leaks fully" 1.0
+    (Sleep_vector.state_factor Func.Nand2 [ Logic.T; Logic.T ]);
+  (* each zero adds stack effect *)
+  Alcotest.(check bool) "zeros reduce" true
+    (Sleep_vector.state_factor Func.Nand2 [ Logic.F; Logic.F ]
+    < Sleep_vector.state_factor Func.Nand2 [ Logic.F; Logic.T ]);
+  Alcotest.(check (float 1e-9)) "sequential unaffected" 1.0
+    (Sleep_vector.state_factor Func.Dff [ Logic.F ])
+
+let test_vector_changes_leakage () =
+  let nl = Smt_circuits.Generators.c17 lib in
+  let names = [ "G1"; "G2"; "G3"; "G4"; "G5" ] in
+  let all v = List.map (fun n -> (n, v)) names in
+  let zeros = Sleep_vector.standby_with_vector nl ~vector:(all Logic.F) in
+  let ones = Sleep_vector.standby_with_vector nl ~vector:(all Logic.T) in
+  Alcotest.(check bool) "state matters" true (Float.abs (zeros -. ones) > 1e-6);
+  let nominal = (Leakage.standby nl).Leakage.total in
+  Alcotest.(check bool) "state-aware is below the stateless worst case" true
+    (zeros <= nominal +. 1e-9 && ones <= nominal +. 1e-9)
+
+let test_sleep_vector_search () =
+  let nl = Smt_circuits.Generators.ripple_adder ~registered:false ~name:"sv" ~bits:6 lib in
+  let s = Sleep_vector.search ~tries:48 ~seed:4 nl in
+  Alcotest.(check bool) "best <= average" true (s.Sleep_vector.best_nw <= s.Sleep_vector.average_nw);
+  Alcotest.(check bool) "average <= worst" true
+    (s.Sleep_vector.average_nw <= s.Sleep_vector.worst_nw);
+  Alcotest.(check bool) "search finds spread" true
+    (s.Sleep_vector.worst_nw > s.Sleep_vector.best_nw);
+  (* the reported best vector + state reproduces the reported leakage *)
+  Alcotest.(check (float 1e-9)) "best vector reproduces" s.Sleep_vector.best_nw
+    (Sleep_vector.standby_with_vector ~ff_state:s.Sleep_vector.best_state nl
+       ~vector:s.Sleep_vector.best_vector);
+  let s2 = Sleep_vector.search ~tries:48 ~seed:4 nl in
+  Alcotest.(check (float 1e-12)) "deterministic" s.Sleep_vector.best_nw s2.Sleep_vector.best_nw
+
+let test_sleep_vector_ignores_gated_cells () =
+  (* MT cells leak their residual regardless of state *)
+  let nl = Netlist.create ~name:"g" ~lib in
+  let a = Netlist.add_input nl "a" in
+  let z = Netlist.add_output nl "z" in
+  ignore (Netlist.add_inst nl ~name:"m" (mtv Func.Inv) [ ("A", a); ("Z", z) ]);
+  let l0 = Sleep_vector.standby_with_vector nl ~vector:[ ("a", Logic.F) ] in
+  let l1 = Sleep_vector.standby_with_vector nl ~vector:[ ("a", Logic.T) ] in
+  Alcotest.(check (float 1e-9)) "gated cell state-independent" l0 l1
+
+(* --- EM --- *)
+
+let test_em_checks () =
+  Alcotest.(check bool) "ok" true
+    (Em.cluster_ok tech ~cells:4 ~sustained_ua:10.0);
+  (match Em.check tech ~cells:(tech.Tech.em_cell_limit + 1) ~sustained_ua:1.0 with
+  | Em.Too_many_cells _ -> ()
+  | v -> Alcotest.fail (Em.describe v));
+  (match Em.check tech ~cells:2 ~sustained_ua:(tech.Tech.em_current_limit +. 1.0) with
+  | Em.Current_exceeded _ -> ()
+  | v -> Alcotest.fail (Em.describe v));
+  Alcotest.(check string) "describe ok" "ok" (Em.describe Em.Ok)
+
+let test_vgnd_wire_res () =
+  Alcotest.(check (float 1e-9)) "zero length" 0.0 (Bounce.vgnd_wire_res tech ~length:0.0);
+  Alcotest.(check bool) "monotone" true
+    (Bounce.vgnd_wire_res tech ~length:100.0 > Bounce.vgnd_wire_res tech ~length:10.0)
+
+let () =
+  Alcotest.run "smt_power"
+    [
+      ( "leakage",
+        [
+          Alcotest.test_case "breakdown sums" `Quick test_breakdown_sums;
+          Alcotest.test_case "all-low-vth leaks" `Quick test_all_low_vth_is_leaky;
+          Alcotest.test_case "hv swap reduces" `Quick test_hv_swap_reduces;
+          Alcotest.test_case "mt conversion reduces" `Quick test_mt_conversion_reduces;
+          Alcotest.test_case "active vs standby" `Quick test_active_vs_standby;
+        ] );
+      ( "bounce",
+        [
+          Alcotest.test_case "simultaneous current" `Quick test_simultaneous_current;
+          Alcotest.test_case "sustained <= simultaneous" `Quick test_sustained_below_simultaneous;
+          Alcotest.test_case "activity tightens" `Quick test_activity_reduces_current;
+          Alcotest.test_case "bounce formula" `Quick test_bounce_formula;
+          Alcotest.test_case "width helps" `Quick test_wider_switch_less_bounce;
+          Alcotest.test_case "cluster analysis" `Quick test_analyze_clusters;
+          Alcotest.test_case "per-instance bounce fn" `Quick test_bounce_of_fn;
+          Alcotest.test_case "embedded at limit" `Quick test_embedded_bounce_at_limit;
+          Alcotest.test_case "vgnd wire res" `Quick test_vgnd_wire_res;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "linear in frequency" `Quick test_dynamic_scales_with_frequency;
+          Alcotest.test_case "activity-aware" `Quick test_dynamic_with_activity;
+          Alcotest.test_case "untouched by MT" `Quick test_dynamic_untouched_by_mt;
+        ] );
+      ( "sleep-vector",
+        [
+          Alcotest.test_case "state factor bounds" `Quick test_state_factor_bounds;
+          Alcotest.test_case "vector changes leakage" `Quick test_vector_changes_leakage;
+          Alcotest.test_case "search" `Quick test_sleep_vector_search;
+          Alcotest.test_case "gated cells immune" `Quick test_sleep_vector_ignores_gated_cells;
+        ] );
+      ("em", [ Alcotest.test_case "checks" `Quick test_em_checks ]);
+    ]

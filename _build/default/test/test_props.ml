@@ -1,0 +1,421 @@
+(* Property-based tests (qcheck) over the core data structures and the MT
+   invariants, registered as alcotest cases. *)
+
+module Netlist = Smt_netlist.Netlist
+module Check = Smt_netlist.Check
+module Clone = Smt_netlist.Clone
+module Nl_stats = Smt_netlist.Nl_stats
+module Placement = Smt_place.Placement
+module Parasitics = Smt_route.Parasitics
+module Sta = Smt_sta.Sta
+module Geom = Smt_util.Geom
+module Heap = Smt_util.Heap
+module Stats = Smt_util.Stats
+module Rng = Smt_util.Rng
+module Union_find = Smt_util.Union_find
+module Library = Smt_cell.Library
+module Generators = Smt_circuits.Generators
+
+let lib = Library.default ()
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- util properties --- *)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.of_array ~cmp:compare (Array.of_list xs) in
+      Heap.to_sorted_list h = List.sort compare xs)
+
+let prop_heap_push_pop_min =
+  QCheck2.Test.make ~name:"heap pop is the minimum" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      Heap.pop h = Some (List.fold_left min (List.hd xs) xs))
+
+let prop_union_find_transitive =
+  QCheck2.Test.make ~name:"union-find transitivity" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 19) (int_range 0 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> Union_find.union uf a b) pairs;
+      (* find is consistent with same *)
+      List.for_all
+        (fun (a, b) -> Union_find.same uf a b = (Union_find.find uf a = Union_find.find uf b))
+        pairs)
+
+let prop_percentile_bounded =
+  QCheck2.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 1 40) (float_range (-100.) 100.)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      let v = Stats.percentile xs p in
+      let lo, hi = Stats.min_max xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_spanning_vs_bbox =
+  (* the rectilinear MST is at least as long as the larger bbox side and at
+     most n-1 times the full half-perimeter *)
+  QCheck2.Test.make ~name:"spanning length bounds" ~count:200
+    QCheck2.Gen.(list_size (int_range 2 12) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun raw ->
+      let pts = List.map (fun (x, y) -> Geom.point x y) raw in
+      let len = Geom.spanning_length pts in
+      let box = Geom.bbox_of_points pts in
+      let lower = Float.max (Geom.width box) (Geom.height box) in
+      let upper = float_of_int (List.length pts - 1) *. Geom.hpwl box in
+      len >= lower -. 1e-6 && len <= upper +. 1e-6)
+
+let prop_rng_int_uniformish =
+  QCheck2.Test.make ~name:"rng int hits the whole range" ~count:20
+    QCheck2.Gen.(int_range 2 20)
+    (fun bound ->
+      let r = Rng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to 2000 do
+        seen.(Rng.int r bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+(* --- random netlists --- *)
+
+let random_netlist seed =
+  let which = seed mod 4 in
+  match which with
+  | 0 ->
+    Generators.layered ~seed ~min_depth:2 ~name:(Printf.sprintf "rnd%d" seed) ~inputs:6
+      ~outputs:4 ~width:8 ~depth:5 lib
+  | 1 -> Generators.ripple_adder ~registered:(seed mod 2 = 0) ~name:(Printf.sprintf "rnd%d" seed) ~bits:(3 + (seed mod 5)) lib
+  | 2 -> Generators.multiplier ~name:(Printf.sprintf "rnd%d" seed) ~bits:(2 + (seed mod 4)) lib
+  | _ -> Generators.counter ~name:(Printf.sprintf "rnd%d" seed) ~bits:(2 + (seed mod 8)) lib
+
+let seed_gen = QCheck2.Gen.int_range 0 10_000
+
+let prop_generated_valid =
+  QCheck2.Test.make ~name:"generated netlists validate" ~count:40 seed_gen
+    (fun seed -> Check.validate (random_netlist seed) = [])
+
+let prop_topo_respects_edges =
+  QCheck2.Test.make ~name:"topological order respects fanin" ~count:30 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let order = Netlist.topo_order nl in
+      let pos = Hashtbl.create 97 in
+      List.iteri (fun i iid -> Hashtbl.replace pos iid i) order;
+      List.for_all
+        (fun iid ->
+          List.for_all
+            (fun pred ->
+              match (Hashtbl.find_opt pos pred, Hashtbl.find_opt pos iid) with
+              | Some pp, Some pi -> pp < pi
+              | _ -> true (* flip-flops are outside the comb frame *))
+            (Netlist.fanin_insts nl iid))
+        order)
+
+let prop_roundtrip_preserves_stats =
+  QCheck2.Test.make ~name:"writer/parser roundtrip preserves structure" ~count:30 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let nl2 = Clone.copy nl in
+      let s1 = Nl_stats.compute nl and s2 = Nl_stats.compute nl2 in
+      s1 = s2)
+
+let prop_roundtrip_equivalent =
+  QCheck2.Test.make ~name:"clone is functionally equivalent" ~count:12 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      Smt_sim.Equiv.equivalent ~vectors:16 ~cycles:4 nl (Clone.copy nl))
+
+let prop_placement_in_die =
+  QCheck2.Test.make ~name:"placement stays in the die" ~count:15 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let place = Placement.place ~seed nl in
+      let die = Placement.die place in
+      List.for_all
+        (fun iid ->
+          match Placement.inst_point_opt place iid with
+          | Some p -> Geom.contains die p
+          | None -> false)
+        (Netlist.live_insts nl))
+
+let prop_sta_arrivals_monotone =
+  QCheck2.Test.make ~name:"arrival grows along paths" ~count:15 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let sta = Sta.analyze (Sta.config ~clock_period:1e5 ()) nl in
+      List.for_all
+        (fun iid ->
+          match Netlist.output_net nl iid with
+          | None -> true
+          | Some out ->
+            if Netlist.is_clock_net nl out then true
+            else
+              List.for_all
+                (fun pred ->
+                  match Netlist.output_net nl pred with
+                  | Some pout when not (Netlist.is_clock_net nl pout) ->
+                    (* flip-flop outputs restart the clock frame *)
+                    (Netlist.cell nl pred).Smt_cell.Cell.kind = Smt_cell.Func.Dff
+                    || Sta.arrival sta out > Sta.arrival sta pout -. 1e-9
+                  | Some _ | None -> true)
+                (Netlist.fanin_insts nl iid))
+        (Netlist.topo_order nl))
+
+let prop_extraction_nonnegative =
+  QCheck2.Test.make ~name:"extracted RC non-negative" ~count:15 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let place = Placement.place ~seed nl in
+      let ext = Parasitics.extract place in
+      let ok = ref true in
+      Netlist.iter_nets nl (fun nid ->
+          if Parasitics.net_cap ext nid < 0.0 || Parasitics.net_res ext nid < 0.0 then
+            ok := false);
+      !ok)
+
+let prop_leakage_positive =
+  QCheck2.Test.make ~name:"standby leakage positive and below active-floor x100" ~count:20
+    seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let b = Smt_power.Leakage.standby nl in
+      b.Smt_power.Leakage.total > 0.0
+      && b.Smt_power.Leakage.total <= 100.0 *. Smt_power.Leakage.active nl)
+
+(* --- MT invariants on randomized flows --- *)
+
+let prop_cluster_invariants =
+  QCheck2.Test.make ~name:"cluster constraints hold for random circuits" ~count:8
+    (QCheck2.Gen.int_range 0 1000)
+    (fun seed ->
+      let nl = random_netlist ((seed * 4) + 2) (* multipliers: plenty of MT cells *) in
+      let probe = 1e6 in
+      let sta = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
+      let period = (probe -. Sta.wns sta) *. 1.05 in
+      ignore (Smt_core.Vth_assign.assign (Sta.config ~clock_period:period ()) nl);
+      let n = Smt_core.Mt_replace.replace Smt_core.Mt_replace.Improved nl in
+      if n = 0 then true
+      else begin
+        let place = Placement.place ~seed nl in
+        let ins = Smt_core.Switch_insert.insert place in
+        let built =
+          Smt_core.Cluster.build place ~mte_net:ins.Smt_core.Switch_insert.mte_net
+        in
+        let tech = Library.tech lib in
+        let p = Smt_core.Cluster.default_params tech in
+        List.for_all
+          (fun c ->
+            List.length c.Smt_core.Cluster.members <= p.Smt_core.Cluster.cell_limit
+            && c.Smt_core.Cluster.wire_length <= p.Smt_core.Cluster.length_limit +. 1e-9
+            && c.Smt_core.Cluster.bounce <= p.Smt_core.Cluster.bounce_limit +. 1e-9)
+          built.Smt_core.Cluster.clusters
+        && Check.validate ~phase:Check.Post_mt nl = []
+      end)
+
+let prop_holder_rule_sound =
+  QCheck2.Test.make ~name:"holder rule: no floating net reaches a non-MT sink" ~count:8
+    (QCheck2.Gen.int_range 0 1000)
+    (fun seed ->
+      let nl = random_netlist ((seed * 4) + 2) in
+      let probe = 1e6 in
+      let sta = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
+      let period = (probe -. Sta.wns sta) *. 1.05 in
+      ignore (Smt_core.Vth_assign.assign (Sta.config ~clock_period:period ()) nl);
+      let n = Smt_core.Mt_replace.replace Smt_core.Mt_replace.Improved nl in
+      if n = 0 then true
+      else begin
+        let place = Placement.place ~seed nl in
+        ignore (Smt_core.Switch_insert.insert place);
+        let sim = Smt_sim.Simulator.create nl in
+        Smt_sim.Simulator.reset sim;
+        let inputs =
+          Netlist.inputs nl
+          |> List.map (fun (name, _) -> (name, Smt_sim.Logic.of_bool (seed mod 2 = 0)))
+        in
+        Smt_sim.Simulator.set_inputs sim inputs;
+        Smt_sim.Simulator.propagate ~mode:Smt_sim.Simulator.Standby sim;
+        List.for_all
+          (fun nid ->
+            (not (Netlist.is_po nl nid))
+            && List.for_all
+                 (fun (pin : Netlist.pin) ->
+                   Smt_cell.Cell.is_mt (Netlist.cell nl pin.Netlist.inst))
+                 (Netlist.sinks nl nid))
+          (Smt_sim.Simulator.floating_nets sim)
+      end)
+
+(* --- extension modules --- *)
+
+let prop_router_sound =
+  QCheck2.Test.make ~name:"router covers spread nets, detour >= 1" ~count:10 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let place = Placement.place ~seed nl in
+      let r = Smt_route.Global_router.route place in
+      let ok = ref true in
+      Netlist.iter_nets nl (fun nid ->
+          let pts = Placement.pin_points place nid in
+          if List.length pts >= 2 && Placement.net_hpwl place nid > 0.0 then
+            if Smt_route.Global_router.net_length r nid <= 0.0 then ok := false);
+      !ok && Smt_route.Global_router.detour_factor r place >= 1.0)
+
+let prop_optimizer_safe =
+  QCheck2.Test.make ~name:"optimizer preserves function and validity" ~count:10 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let golden = Clone.copy nl in
+      ignore (Smt_netlist.Optimize.run nl);
+      Check.validate nl = [] && Smt_sim.Equiv.equivalent ~vectors:12 ~cycles:4 golden nl)
+
+let prop_placement_io_roundtrip =
+  QCheck2.Test.make ~name:"placement io roundtrip" ~count:10 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let place = Placement.place ~seed nl in
+      let back = Placement.of_string nl (Placement.to_string place) in
+      List.for_all
+        (fun iid ->
+          let a = Placement.inst_point place iid and b = Placement.inst_point back iid in
+          Float.abs (a.Geom.x -. b.Geom.x) < 1e-3 && Float.abs (a.Geom.y -. b.Geom.y) < 1e-3)
+        (Netlist.live_insts nl))
+
+let prop_nldm_lookup_bounded =
+  QCheck2.Test.make ~name:"nldm lookup within table bounds" ~count:100
+    QCheck2.Gen.(pair (float_range (-50.) 400.) (float_range (-10.) 200.))
+    (fun (slew, load) ->
+      let cell =
+        Library.variant lib Smt_cell.Func.Nand2 Smt_cell.Vth.Low Smt_cell.Vth.Plain
+      in
+      let arcs = Smt_cell.Nldm.characterize cell in
+      let v = Smt_cell.Nldm.lookup arcs.Smt_cell.Nldm.delay ~slew ~load in
+      let values = arcs.Smt_cell.Nldm.delay.Smt_cell.Nldm.values in
+      let lo = Array.fold_left (fun acc row -> Array.fold_left Float.min acc row) infinity values in
+      let hi =
+        Array.fold_left (fun acc row -> Array.fold_left Float.max acc row) neg_infinity values
+      in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_incremental_sta_exact =
+  QCheck2.Test.make ~name:"incremental STA equals full re-analysis" ~count:12
+    ~print:string_of_int seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let cfg = Sta.config ~clock_period:1e5 () in
+      let sta = Sta.analyze cfg nl in
+      let rng = Rng.create seed in
+      let lib = Smt_netlist.Netlist.lib nl in
+      let victims =
+        Netlist.live_insts nl
+        |> List.filter (fun iid ->
+               let c = Netlist.cell nl iid in
+               (not (Smt_cell.Func.is_sequential c.Smt_cell.Cell.kind))
+               && (not (Smt_cell.Func.is_infrastructure c.Smt_cell.Cell.kind))
+               && Smt_cell.Library.has_variant ~drive:c.Smt_cell.Cell.drive lib
+                    c.Smt_cell.Cell.kind Smt_cell.Vth.High c.Smt_cell.Cell.style)
+        |> List.filter (fun _ -> Rng.chance rng 0.3)
+      in
+      if victims = [] then true
+      else begin
+        List.iter
+          (fun iid ->
+            let c = Netlist.cell nl iid in
+            Netlist.replace_cell nl iid
+              (Smt_cell.Library.restyle lib c Smt_cell.Vth.High c.Smt_cell.Cell.style))
+          victims;
+        let incr = Sta.update sta ~changed:victims in
+        let full = Sta.analyze cfg nl in
+        (* infinities (no endpoints of a kind) must compare equal, not nan *)
+        let feq a b = a = b || Float.abs (a -. b) < 1e-6 in
+        let ok = ref true in
+        Netlist.iter_nets nl (fun nid ->
+            if not (feq (Sta.arrival incr nid) (Sta.arrival full nid)) then ok := false);
+        !ok
+        && feq (Sta.wns incr) (Sta.wns full)
+        && feq (Sta.worst_hold_slack incr) (Sta.worst_hold_slack full)
+      end)
+
+let prop_compose_sound =
+  QCheck2.Test.make ~name:"composition validates and counts add" ~count:10
+    (QCheck2.Gen.pair seed_gen seed_gen)
+    (fun (s1, s2) ->
+      let a = random_netlist s1 and b = random_netlist s2 in
+      let sa = Nl_stats.compute a and sb = Nl_stats.compute b in
+      let top = Smt_netlist.Compose.merge ~name:"top" [ ("u0", a); ("u1", b) ] in
+      Check.validate top = []
+      && (Nl_stats.compute top).Nl_stats.instances
+         = sa.Nl_stats.instances + sb.Nl_stats.instances)
+
+let prop_sleep_vector_bounded =
+  QCheck2.Test.make ~name:"state-aware leakage never exceeds stateless" ~count:12 seed_gen
+    (fun seed ->
+      let nl = random_netlist seed in
+      let s = Smt_power.Sleep_vector.search ~tries:8 ~seed nl in
+      let stateless = (Smt_power.Leakage.standby nl).Smt_power.Leakage.total in
+      s.Smt_power.Sleep_vector.best_nw <= s.Smt_power.Sleep_vector.worst_nw +. 1e-9
+      && s.Smt_power.Sleep_vector.worst_nw <= stateless +. 1e-9)
+
+let prop_standby_protocol_holds =
+  QCheck2.Test.make ~name:"standby protocol invariants on random circuits" ~count:6
+    (QCheck2.Gen.int_range 0 500)
+    (fun seed ->
+      let nl = random_netlist ((seed * 4) + 2) in
+      let probe = 1e6 in
+      let sta = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
+      let period = (probe -. Sta.wns sta) *. 1.05 in
+      ignore (Smt_core.Vth_assign.assign (Sta.config ~clock_period:period ()) nl);
+      let n = Smt_core.Mt_replace.replace Smt_core.Mt_replace.Improved nl in
+      if n = 0 then true
+      else begin
+        let place = Placement.place ~seed nl in
+        ignore (Smt_core.Switch_insert.insert place);
+        let o = Smt_core.Standby.simulate ~seed nl in
+        o.Smt_core.Standby.state_preserved
+        && o.Smt_core.Standby.outputs_defined_in_standby
+        && o.Smt_core.Standby.x_leaks_into_awake_logic = 0
+        && o.Smt_core.Standby.all_wake_cycles_correct
+      end)
+
+let () =
+  Alcotest.run "smt_props"
+    [
+      ( "util",
+        [
+          qtest prop_heap_sorts;
+          qtest prop_heap_push_pop_min;
+          qtest prop_union_find_transitive;
+          qtest prop_percentile_bounded;
+          qtest prop_spanning_vs_bbox;
+          qtest prop_rng_int_uniformish;
+        ] );
+      ( "netlist",
+        [
+          qtest prop_generated_valid;
+          qtest prop_topo_respects_edges;
+          qtest prop_roundtrip_preserves_stats;
+          qtest prop_roundtrip_equivalent;
+        ] );
+      ( "physical",
+        [
+          qtest prop_placement_in_die;
+          qtest prop_sta_arrivals_monotone;
+          qtest prop_extraction_nonnegative;
+          qtest prop_leakage_positive;
+        ] );
+      ( "mt-invariants",
+        [ qtest prop_cluster_invariants; qtest prop_holder_rule_sound ] );
+      ( "extensions",
+        [
+          qtest prop_router_sound;
+          qtest prop_optimizer_safe;
+          qtest prop_placement_io_roundtrip;
+          qtest prop_nldm_lookup_bounded;
+          qtest prop_standby_protocol_holds;
+          qtest prop_incremental_sta_exact;
+          qtest prop_compose_sound;
+          qtest prop_sleep_vector_bounded;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+module Netlist = Smt_netlist.Netlist
+module Placement = Smt_place.Placement
+module Parasitics = Smt_route.Parasitics
+module Crosstalk = Smt_route.Crosstalk
+module Wire = Smt_sta.Wire
+module Library = Smt_cell.Library
+module Tech = Smt_cell.Tech
+module Generators = Smt_circuits.Generators
+
+let lib = Library.default ()
+let tech = Library.tech lib
+
+let fixture () =
+  let nl = Generators.multiplier ~name:"m" ~bits:5 lib in
+  let place = Placement.place nl in
+  (nl, place)
+
+let test_corners () =
+  let _, place = fixture () in
+  Alcotest.(check bool) "estimate corner" true
+    (Parasitics.corner (Parasitics.estimate place) = Parasitics.Estimated);
+  Alcotest.(check bool) "extract corner" true
+    (Parasitics.corner (Parasitics.extract place) = Parasitics.Extracted)
+
+let test_lengths_positive () =
+  let nl, place = fixture () in
+  let ext = Parasitics.extract place in
+  let some_positive = ref false in
+  Netlist.iter_nets nl (fun nid ->
+      let len = Parasitics.net_length ext nid in
+      Alcotest.(check bool) "non-negative" true (len >= 0.0);
+      if len > 0.0 then some_positive := true);
+  Alcotest.(check bool) "some routing exists" true !some_positive;
+  Alcotest.(check bool) "total positive" true (Parasitics.total_wirelength ext > 0.0)
+
+let test_rc_proportional_to_length () =
+  let nl, place = fixture () in
+  let ext = Parasitics.extract place in
+  Netlist.iter_nets nl (fun nid ->
+      let len = Parasitics.net_length ext nid in
+      Alcotest.(check (float 1e-6)) "cap = c*len" (len *. tech.Tech.wire_c_per_um)
+        (Parasitics.net_cap ext nid);
+      Alcotest.(check (float 1e-6)) "res = r*len" (len *. tech.Tech.wire_r_per_um)
+        (Parasitics.net_res ext nid))
+
+let test_estimate_error_bounded () =
+  let nl, place = fixture () in
+  let est = Parasitics.estimate place in
+  let bound = tech.Tech.rc_estimation_error in
+  Netlist.iter_nets nl (fun nid ->
+      let hpwl = Placement.net_hpwl place nid in
+      let len = Parasitics.net_length est nid in
+      if hpwl > 0.0 then begin
+        let err = Float.abs (len -. hpwl) /. hpwl in
+        Alcotest.(check bool) "error within bound" true (err <= bound +. 1e-9)
+      end)
+
+let test_estimate_deterministic () =
+  let _, place = fixture () in
+  let e1 = Parasitics.estimate ~seed:5 place in
+  let e2 = Parasitics.estimate ~seed:5 place in
+  let nl = Placement.netlist place in
+  Netlist.iter_nets nl (fun nid ->
+      Alcotest.(check (float 1e-12)) "same estimate" (Parasitics.net_length e1 nid)
+        (Parasitics.net_length e2 nid))
+
+let test_extracted_longer_than_hpwl () =
+  (* spanning tree with detour >= bbox half perimeter on multi-pin nets *)
+  let nl, place = fixture () in
+  let ext = Parasitics.extract ~detour:1.2 place in
+  let violations = ref 0 in
+  Netlist.iter_nets nl (fun nid ->
+      let hpwl = Placement.net_hpwl place nid in
+      if hpwl > 0.0 && Parasitics.net_length ext nid < hpwl /. 2.0 then incr violations);
+  Alcotest.(check int) "routed length plausible" 0 !violations
+
+let test_detour_scales () =
+  let nl, place = fixture () in
+  let e1 = Parasitics.extract ~detour:1.0 place in
+  let e2 = Parasitics.extract ~detour:1.5 place in
+  Netlist.iter_nets nl (fun nid ->
+      Alcotest.(check (float 1e-6)) "linear in detour"
+        (1.5 *. Parasitics.net_length e1 nid)
+        (Parasitics.net_length e2 nid))
+
+let test_wire_model () =
+  let nl, place = fixture () in
+  let ext = Parasitics.extract place in
+  let wm = Parasitics.wire_model ext nl in
+  Netlist.iter_nets nl (fun nid ->
+      let cap = wm.Wire.net_cap nid in
+      Alcotest.(check bool) "cap >= 0" true (cap >= 0.0);
+      List.iter
+        (fun pin ->
+          let d = wm.Wire.net_delay nid pin in
+          Alcotest.(check bool) "delay >= 0" true (d >= 0.0))
+        (Netlist.sinks nl nid))
+
+let test_spef_roundtrip () =
+  let nl, place = fixture () in
+  let ext = Parasitics.extract place in
+  let text = Parasitics.to_spef ext nl in
+  let back = Parasitics.of_spef ~lib nl text in
+  Alcotest.(check bool) "corner preserved" true (Parasitics.corner back = Parasitics.Extracted);
+  Netlist.iter_nets nl (fun nid ->
+      Alcotest.(check (float 1e-3)) "length round trips" (Parasitics.net_length ext nid)
+        (Parasitics.net_length back nid);
+      Alcotest.(check (float 1e-3)) "cap round trips" (Parasitics.net_cap ext nid)
+        (Parasitics.net_cap back nid))
+
+let test_spef_rejects_bad () =
+  let nl, _ = fixture () in
+  Alcotest.(check bool) "unknown net" true
+    (try
+       ignore (Parasitics.of_spef ~lib nl "*D_NET bogus_net 1.0\n");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "orphan *R" true
+    (try
+       ignore (Parasitics.of_spef ~lib nl "*R 1.0\n");
+       false
+     with Failure _ -> true)
+
+let test_crosstalk_monotone () =
+  let prev = ref (-1.0) in
+  List.iter
+    (fun len ->
+      let f = Crosstalk.coupling_fraction ~length:len in
+      Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0);
+      Alcotest.(check bool) "monotone" true (f >= !prev);
+      prev := f)
+    [ 0.0; 10.0; 50.0; 100.0; 500.0; 5000.0 ]
+
+let test_vgnd_length_rule () =
+  Alcotest.(check bool) "short ok" true
+    (Crosstalk.vgnd_ok tech ~length:(tech.Tech.vgnd_length_limit -. 1.0));
+  Alcotest.(check bool) "long rejected" false
+    (Crosstalk.vgnd_ok tech ~length:(tech.Tech.vgnd_length_limit +. 1.0));
+  Alcotest.(check bool) "noise grows" true
+    (Crosstalk.noise_mv tech ~length:300.0 > Crosstalk.noise_mv tech ~length:30.0)
+
+let () =
+  Alcotest.run "smt_route"
+    [
+      ( "parasitics",
+        [
+          Alcotest.test_case "corners" `Quick test_corners;
+          Alcotest.test_case "lengths positive" `Quick test_lengths_positive;
+          Alcotest.test_case "rc proportional" `Quick test_rc_proportional_to_length;
+          Alcotest.test_case "estimation error bounded" `Quick test_estimate_error_bounded;
+          Alcotest.test_case "estimate deterministic" `Quick test_estimate_deterministic;
+          Alcotest.test_case "extraction plausible" `Quick test_extracted_longer_than_hpwl;
+          Alcotest.test_case "detour scaling" `Quick test_detour_scales;
+          Alcotest.test_case "wire model" `Quick test_wire_model;
+        ] );
+      ( "spef",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spef_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick test_spef_rejects_bad;
+        ] );
+      ( "crosstalk",
+        [
+          Alcotest.test_case "coupling monotone" `Quick test_crosstalk_monotone;
+          Alcotest.test_case "vgnd length rule" `Quick test_vgnd_length_rule;
+        ] );
+    ]
