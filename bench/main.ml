@@ -29,6 +29,7 @@ module Switch_insert = Smt_core.Switch_insert
 module Suite = Smt_circuits.Suite
 module Generators = Smt_circuits.Generators
 module Text_table = Smt_util.Text_table
+module Metrics = Smt_obs.Metrics
 
 let lib = Library.default ()
 let tech = Library.tech lib
@@ -551,13 +552,16 @@ let system () =
   print_endline (Smt_core.Signoff.render so);
   (* scalability of the flow infrastructure *)
   print_endline "\nflow scalability (improved flow on multipliers):";
+  let evals = Metrics.counter "sta.arrival_evals" in
   let rows =
     List.map
       (fun bits ->
         let nl = Generators.multiplier ~name:(Printf.sprintf "m%dsc" bits) ~bits lib in
         let t0 = Unix.gettimeofday () in
+        let e0 = Metrics.counter_value evals in
         let r = Flow.run Flow.Improved_smt nl in
         let dt = Unix.gettimeofday () -. t0 in
+        let e1 = Metrics.counter_value evals in
         let stats = Smt_netlist.Nl_stats.compute nl in
         [
           Printf.sprintf "mult%d" bits;
@@ -565,13 +569,15 @@ let system () =
           string_of_int r.Flow.n_mt_cells;
           string_of_int r.Flow.n_clusters;
           Printf.sprintf "%.0f ms" (dt *. 1000.0);
+          string_of_int (e1 - e0);
           (if r.Flow.timing_met then "met" else "VIOLATED");
         ])
       [ 4; 8; 12; 16 ]
   in
   print_endline
     (Text_table.render
-       ~header:[ "Circuit"; "Instances"; "MT cells"; "Clusters"; "Flow time"; "Timing" ]
+       ~header:
+         [ "Circuit"; "Instances"; "MT cells"; "Clusters"; "Flow time"; "STA evals"; "Timing" ]
        rows);
   (* the all-MT strawman, apples to apples: identical mini-pipelines
      (Vth assignment -> replacement -> insertion -> clustering), the only
@@ -630,44 +636,67 @@ let bechamel_benches () =
   section "BECHAMEL: runtime of each experiment's generator";
   let open Bechamel in
   let open Toolkit in
-  let bench_table1 =
-    Test.make ~name:"table1-improved-flow-circuit-a"
-      (Staged.stage (fun () -> ignore (Flow.run Flow.Improved_smt (Suite.circuit_a lib))))
+  (* Named workloads, used twice: once instrumented (counter deltas per
+     single run) and once under the bechamel timer. *)
+  let workload_table1 () = ignore (Flow.run Flow.Improved_smt (Suite.circuit_a lib)) in
+  let workload_fig1 () =
+    List.iter
+      (fun kind ->
+        ignore (Cell.delay (Library.variant lib kind Vth.Low Vth.Mt_vgnd) ~load_ff:8.0))
+      Library.comb_kinds
   in
-  let bench_fig1 =
-    Test.make ~name:"fig1-cell-characterization"
-      (Staged.stage (fun () ->
-           List.iter
-             (fun kind ->
-               ignore (Cell.delay (Library.variant lib kind Vth.Low Vth.Mt_vgnd) ~load_ff:8.0))
-             Library.comb_kinds))
+  let workload_fig23 () =
+    ignore (transform `Improved (Generators.multiplier ~name:"m8b" ~bits:8 lib))
   in
-  let bench_fig23 =
-    Test.make ~name:"fig23-improved-transform-mult8"
-      (Staged.stage (fun () ->
-           ignore (transform `Improved (Generators.multiplier ~name:"m8b" ~bits:8 lib))))
+  let workload_fig4 () = ignore (Flow.run Flow.Improved_smt (Suite.circuit_b lib)) in
+  let workload_ablation =
+    let nl = Generators.multiplier ~name:"m8c" ~bits:8 lib in
+    let probe = 1e6 in
+    let sta = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
+    let period = (probe -. Sta.wns sta) *. 1.05 in
+    ignore (Vth_assign.assign (Sta.config ~clock_period:period ()) nl);
+    ignore (Mt_replace.replace Mt_replace.Improved nl);
+    let place = Placement.place nl in
+    let ins = Switch_insert.insert place in
+    fun () -> ignore (Cluster.build place ~mte_net:ins.Switch_insert.mte_net)
   in
-  let bench_fig4 =
-    Test.make ~name:"fig4-staged-flow-circuit-b"
-      (Staged.stage (fun () -> ignore (Flow.run Flow.Improved_smt (Suite.circuit_b lib))))
+  let workloads =
+    [
+      ("table1-improved-flow-circuit-a", workload_table1);
+      ("fig1-cell-characterization", workload_fig1);
+      ("fig23-improved-transform-mult8", workload_fig23);
+      ("fig4-staged-flow-circuit-b", workload_fig4);
+      ("ablation-cluster-build-mult8", workload_ablation);
+    ]
   in
-  let bench_ablation =
-    Test.make ~name:"ablation-cluster-build-mult8"
-      (Staged.stage
-         (let nl = Generators.multiplier ~name:"m8c" ~bits:8 lib in
-          let probe = 1e6 in
-          let sta = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
-          let period = (probe -. Sta.wns sta) *. 1.05 in
-          ignore (Vth_assign.assign (Sta.config ~clock_period:period ()) nl);
-          ignore (Mt_replace.replace Mt_replace.Improved nl);
-          let place = Placement.place nl in
-          let ins = Switch_insert.insert place in
-          fun () ->
-            ignore (Cluster.build place ~mte_net:ins.Switch_insert.mte_net)))
+  (* What each benchmark actually does, from the observability registry:
+     the counters that moved during one run of the workload. *)
+  let tracked =
+    [
+      ("sta.analyses", "STA runs");
+      ("sta.arrival_evals", "Arrival evals");
+      ("place.iterations", "Place iters");
+      ("cluster.clusters_formed", "Clusters");
+      ("eco.hold_buffers_added", "ECO bufs");
+    ]
   in
+  let counter_value name = Metrics.counter_value (Metrics.counter name) in
+  let counter_rows =
+    List.map
+      (fun (name, f) ->
+        let before = List.map (fun (c, _) -> counter_value c) tracked in
+        f ();
+        let after = List.map (fun (c, _) -> counter_value c) tracked in
+        name :: List.map2 (fun a b -> string_of_int (a - b)) after before)
+      workloads
+  in
+  print_endline "per-benchmark counters (one untimed run each):";
+  print_endline
+    (Text_table.render ~header:("Benchmark" :: List.map snd tracked) counter_rows);
+  print_newline ();
   let test =
     Test.make_grouped ~name:"selective-mt"
-      [ bench_table1; bench_fig1; bench_fig23; bench_fig4; bench_ablation ]
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) workloads)
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
@@ -696,5 +725,12 @@ let () =
   extensions ();
   system ();
   bechamel_benches ();
+  (* SMT_METRICS=FILE dumps the whole-run counter registry for regression
+     tracking of how much work the reproduction does, not just how long. *)
+  (match Sys.getenv_opt "SMT_METRICS" with
+  | Some path ->
+    Metrics.write path;
+    Printf.eprintf "metrics written to %s\n%!" path
+  | None -> ());
   print_newline ();
   print_endline "all reproduction sections complete."

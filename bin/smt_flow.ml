@@ -12,10 +12,69 @@ module Cluster = Smt_core.Cluster
 module Suite = Smt_circuits.Suite
 module Library = Smt_cell.Library
 module Tech = Smt_cell.Tech
+module Trace = Smt_obs.Trace
+module Metrics = Smt_obs.Metrics
+module Obs_log = Smt_obs.Log
 
 open Cmdliner
 
 let lib () = Library.default ()
+
+(* --- observability flags, shared by every subcommand --- *)
+
+type obs = { obs_trace : string option; obs_metrics : string option }
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span per flow stage and write a Chrome trace_event JSON to $(docv) \
+           (open in Perfetto or about://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry (counters, gauges, histograms) as JSON to $(docv).")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LVL"
+        ~doc:"Stderr log level: debug|info|warn|error|off.  Overrides the SMT_LOG \
+              environment variable.")
+
+let obs_term =
+  let setup trace metrics log_level =
+    (match log_level with
+    | None -> ()
+    | Some s -> (
+      match Obs_log.level_of_string s with
+      | Ok l -> Obs_log.set_level l
+      | Error e ->
+        prerr_endline e;
+        exit 2));
+    if trace <> None then Trace.enable ();
+    { obs_trace = trace; obs_metrics = metrics }
+  in
+  Term.(const setup $ trace_arg $ metrics_arg $ log_level_arg)
+
+(* Flush the requested observability outputs after the command body ran. *)
+let finish obs =
+  (match obs.obs_trace with
+  | Some path ->
+    Trace.write path;
+    Printf.eprintf "trace written to %s (%d spans)\n%!" path (List.length (Trace.events ()))
+  | None -> ());
+  match obs.obs_metrics with
+  | Some path ->
+    Metrics.write path;
+    Printf.eprintf "metrics written to %s\n%!" path
+  | None -> ()
 
 let generator_of name =
   match List.assoc_opt name Suite.all with
@@ -80,7 +139,7 @@ let emit_arg =
     & info [ "emit" ] ~doc:"Write the transformed netlist to this file.")
 
 let run_cmd =
-  let run circuit technique seed bounce length cells retention sizing emit =
+  let run obs circuit technique seed bounce length cells retention sizing emit =
     match (generator_of circuit, technique_of technique) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -94,15 +153,16 @@ let run_cmd =
       | Some path ->
         Smt_netlist.Writer.to_file nl path;
         Printf.printf "netlist written to %s\n" path
-      | None -> ())
+      | None -> ());
+      finish obs
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one flow on one circuit")
     Term.(
-      const run $ circuit_arg $ technique_arg $ seed_arg $ bounce_arg $ length_arg $ cells_arg
-      $ retention_arg $ sizing_arg $ emit_arg)
+      const run $ obs_term $ circuit_arg $ technique_arg $ seed_arg $ bounce_arg $ length_arg
+      $ cells_arg $ retention_arg $ sizing_arg $ emit_arg)
 
 let corners_cmd =
-  let run circuit technique seed =
+  let run obs circuit technique seed =
     match (generator_of circuit, technique_of technique) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -118,13 +178,14 @@ let corners_cmd =
       let cfg =
         Smt_sta.Sta.config ~clock_period:report.Flow.clock_period ()
       in
-      print_endline (Smt_core.Signoff.render (Smt_core.Signoff.run cfg nl))
+      print_endline (Smt_core.Signoff.render (Smt_core.Signoff.run cfg nl));
+      finish obs
   in
   Cmd.v (Cmd.info "corners" ~doc:"Multi-corner timing & leakage sign-off")
-    Term.(const run $ circuit_arg $ technique_arg $ seed_arg)
+    Term.(const run $ obs_term $ circuit_arg $ technique_arg $ seed_arg)
 
 let stages_cmd =
-  let run circuit seed bounce length cells =
+  let run obs circuit seed bounce length cells =
     match generator_of circuit with
     | Error e ->
       prerr_endline e;
@@ -135,7 +196,10 @@ let stages_cmd =
       Printf.printf "Improved Selective-MT flow on %s (clock %.1f ps)\n\n"
         report.Flow.circuit report.Flow.clock_period;
       let header =
-        [ "Stage"; "Area um^2"; "Standby nW"; "WNS ps"; "Bounce V"; "Switches"; "Holders" ]
+        [
+          "Stage"; "Area um^2"; "Standby nW"; "WNS ps"; "Bounce V"; "Switches"; "Holders";
+          "ms";
+        ]
       in
       let rows =
         List.map
@@ -148,16 +212,18 @@ let stages_cmd =
               Printf.sprintf "%.4f" s.Flow.stage_worst_bounce;
               string_of_int s.Flow.stage_switches;
               string_of_int s.Flow.stage_holders;
+              Printf.sprintf "%.1f" s.Flow.stage_ms;
             ])
           report.Flow.stages
       in
-      print_endline (Smt_util.Text_table.render ~header rows)
+      print_endline (Smt_util.Text_table.render ~header rows);
+      finish obs
   in
   Cmd.v (Cmd.info "stages" ~doc:"Show per-stage metrics of the improved flow (the paper's Fig. 4)")
-    Term.(const run $ circuit_arg $ seed_arg $ bounce_arg $ length_arg $ cells_arg)
+    Term.(const run $ obs_term $ circuit_arg $ seed_arg $ bounce_arg $ length_arg $ cells_arg)
 
 let table1_cmd =
-  let run seed =
+  let run obs seed json =
     let l = lib () in
     let options = { Flow.default_options with Flow.seed } in
     let rows =
@@ -166,13 +232,27 @@ let table1_cmd =
         Smt_core.Compare.table1_row ~options (fun () -> Suite.circuit_b l);
       ]
     in
-    print_endline (Smt_core.Compare.render rows)
+    (match json with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Smt_core.Report_json.of_rows rows);
+      close_out oc;
+      Printf.eprintf "table written to %s\n%!" path
+    | None -> ());
+    print_endline (Smt_core.Compare.render rows);
+    finish obs
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the comparison as JSON to $(docv).")
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1")
-    Term.(const run $ seed_arg)
+    Term.(const run $ obs_term $ seed_arg $ json_arg)
 
 let report_cmd =
-  let run circuit technique seed =
+  let run obs circuit technique seed =
     match (generator_of circuit, technique_of technique) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -188,10 +268,11 @@ let report_cmd =
       print_endline (Smt_core.Report.timing ~paths:2 sta);
       print_endline (Smt_core.Report.power nl);
       print_newline ();
-      print_endline (Smt_core.Report.area nl)
+      print_endline (Smt_core.Report.area nl);
+      finish obs
   in
   Cmd.v (Cmd.info "report" ~doc:"Sign-off style timing / power / area reports")
-    Term.(const run $ circuit_arg $ technique_arg $ seed_arg)
+    Term.(const run $ obs_term $ circuit_arg $ technique_arg $ seed_arg)
 
 let list_cmd =
   let run () =

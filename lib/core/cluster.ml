@@ -7,6 +7,14 @@ module Library = Smt_cell.Library
 module Geom = Smt_util.Geom
 module Bounce = Smt_power.Bounce
 module Em = Smt_power.Em
+module Trace = Smt_obs.Trace
+module Metrics = Smt_obs.Metrics
+module Log = Smt_obs.Log
+
+let m_builds = Metrics.counter "cluster.builds"
+let m_formed = Metrics.counter "cluster.clusters_formed"
+let m_cells = Metrics.counter "cluster.cells_clustered"
+let m_refine_moves = Metrics.counter "cluster.refine_moves"
 
 type params = {
   bounce_limit : float;
@@ -113,6 +121,8 @@ let sweep_order place members =
   List.sort (fun a b -> compare (key a) (key b)) members
 
 let build ?activity ?load_of ?params ?(dissolve = true) ?cells place ~mte_net =
+  Trace.with_span "Cluster.build" @@ fun () ->
+  Metrics.incr m_builds;
   let nl = Placement.netlist place in
   let lib = Netlist.lib nl in
   let tech = Library.tech lib in
@@ -196,6 +206,17 @@ let build ?activity ?load_of ?params ?(dissolve = true) ?cells place ~mte_net =
   let total_area =
     List.fold_left (fun acc c -> acc +. Tech.switch_area tech ~width:c.width) 0.0 clusters
   in
+  Metrics.incr ~by:(List.length clusters) m_formed;
+  Metrics.incr ~by:(List.length ordered) m_cells;
+  if Log.enabled Log.Info then
+    Log.info "cluster" "built switch clusters"
+      ~fields:
+        [
+          ("design", Netlist.design_name nl);
+          ("cells", string_of_int (List.length ordered));
+          ("clusters", string_of_int (List.length clusters));
+          ("total_width", Printf.sprintf "%.1f" total_width);
+        ];
   { clusters; total_switch_width = total_width; total_switch_area = total_area }
 
 (* --- refinement --- *)
@@ -262,6 +283,7 @@ let refine ?activity ?load_of ?params ?(passes = 2) place =
                   with
                   | Some w_from, Some w_to, Some w_from', Some w_to'
                     when w_from' +. w_to' < w_from +. w_to -. 1e-6 ->
+                    Metrics.incr m_refine_moves;
                     Hashtbl.replace membership sw from_now;
                     Hashtbl.replace membership other to_now;
                     Netlist.set_vgnd_switch nl cell (Some other)

@@ -2,6 +2,13 @@ module Netlist = Smt_netlist.Netlist
 module Placement = Smt_place.Placement
 module Library = Smt_cell.Library
 module Sta = Smt_sta.Sta
+module Trace = Smt_obs.Trace
+module Metrics = Smt_obs.Metrics
+module Log = Smt_obs.Log
+
+let m_iterations = Metrics.counter "eco.hold_iterations"
+let m_buffers = Metrics.counter "eco.hold_buffers_added"
+let m_upsized = Metrics.counter "eco.setup_cells_upsized"
 
 type result = {
   buffers_added : int;
@@ -12,6 +19,7 @@ type result = {
 }
 
 let fix_hold ?(max_iterations = 10) cfg place =
+  Trace.with_span "Eco.fix_hold" @@ fun () ->
   let nl = Placement.netlist place in
   let lib = Netlist.lib nl in
   let buf_cell = Library.hold_buffer lib in
@@ -55,6 +63,18 @@ let fix_hold ?(max_iterations = 10) cfg place =
     sta := Sta.analyze cfg nl;
     progress := violating <> [] && Sta.worst_hold_slack !sta > before +. 1e-9
   done;
+  Metrics.incr ~by:!iterations m_iterations;
+  Metrics.incr ~by:!added m_buffers;
+  if Log.enabled Log.Info then
+    Log.info "eco" "hold-fix ECO"
+      ~fields:
+        [
+          ("design", Netlist.design_name nl);
+          ("iterations", string_of_int !iterations);
+          ("buffers_added", string_of_int !added);
+          ("hold_before", Printf.sprintf "%.1f" hold_before);
+          ("hold_after", Printf.sprintf "%.1f" (Sta.worst_hold_slack !sta));
+        ];
   {
     buffers_added = !added;
     iterations = !iterations;
@@ -74,6 +94,7 @@ let fix_setup cfg nl =
   if before >= 0.0 then { upsized = 0; wns_before = before; wns_after = before }
   else begin
     let r = Gate_sizing.upsize_critical cfg nl in
+    Metrics.incr ~by:r.Gate_sizing.resized m_upsized;
     {
       upsized = r.Gate_sizing.resized;
       wns_before = before;

@@ -12,6 +12,19 @@ module Library = Smt_cell.Library
 module Tech = Smt_cell.Tech
 module Cell = Smt_cell.Cell
 module Vth = Smt_cell.Vth
+module Trace = Smt_obs.Trace
+module Metrics = Smt_obs.Metrics
+module Log = Smt_obs.Log
+
+let m_runs = Metrics.counter "flow.runs"
+let m_stages = Metrics.counter "flow.stages"
+let m_stage_ms = Metrics.histogram "flow.stage_ms"
+
+(* Stage names become metric-name components: spaces and punctuation to
+   underscores so dumps stay grep- and Prometheus-friendly. *)
+let slug name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_')
+    (String.lowercase_ascii name)
 
 type technique = Dual_vth | Conventional_smt | Improved_smt
 
@@ -67,6 +80,7 @@ type stage = {
   stage_worst_bounce : float;
   stage_switches : int;
   stage_holders : int;
+  stage_ms : float;
 }
 
 type report = {
@@ -93,6 +107,8 @@ type report = {
   swapped_to_high_vth : int;
   cells_downsized : int;
   ffs_retained : int;
+  reopt_resized : int;
+  reopt_violations_repaired : int;
   mt_area_fraction : float;
   total_switch_width : float;
   stages : stage list;
@@ -115,12 +131,20 @@ let connect_embedded_mte nl mte =
       then Netlist.connect nl iid "MTE" mte)
 
 let run ?(options = default_options) technique nl =
+  Trace.with_span "Flow.run"
+    ~args:[ ("technique", technique_name technique); ("circuit", Netlist.design_name nl) ]
+  @@ fun () ->
+  Metrics.incr m_runs;
   let lib = Netlist.lib nl in
   let tech = Library.tech lib in
   let params =
     match options.cluster_params with Some p -> p | None -> Cluster.default_params tech
   in
   let stages = ref [] in
+  (* Each stage span runs from the previous snapshot to this one, so the
+     snapshot's own closing STA is billed to the stage that required it. *)
+  let mark = ref (Trace.now_us ()) in
+  let prev = ref None in
   let place =
     Placement.place ~seed:options.seed ~utilization:options.utilization
       ~iterations:options.placement_iterations nl
@@ -147,15 +171,57 @@ let run ?(options = default_options) technique nl =
   let snapshot ?(cfg = base_cfg) ?(bounce = 0.0) name =
     let sta = Sta.analyze cfg nl in
     let stats = Nl_stats.compute nl in
+    let area = stats.Nl_stats.area_total in
+    let standby = (Leakage.standby nl).Leakage.total in
+    let wns = Sta.wns sta in
+    let now = Trace.now_us () in
+    let dur_us = now -. !mark in
+    let d_area, d_standby, d_wns =
+      match !prev with
+      | None -> (0.0, 0.0, 0.0)
+      | Some (a, s, w) -> (area -. a, standby -. s, wns -. w)
+    in
+    prev := Some (area, standby, wns);
+    let s = slug name in
+    Metrics.incr m_stages;
+    Metrics.observe m_stage_ms (dur_us /. 1000.0);
+    Metrics.set (Metrics.gauge ("flow.stage." ^ s ^ ".ms")) (dur_us /. 1000.0);
+    Metrics.set (Metrics.gauge ("flow.stage." ^ s ^ ".area_delta_um2")) d_area;
+    Metrics.set (Metrics.gauge ("flow.stage." ^ s ^ ".standby_delta_nw")) d_standby;
+    Metrics.set (Metrics.gauge ("flow.stage." ^ s ^ ".wns_delta_ps")) d_wns;
+    Trace.complete ~name ~ts_us:!mark ~dur_us
+      ~args:
+        [
+          ("area_um2", Printf.sprintf "%.1f" area);
+          ("area_delta_um2", Printf.sprintf "%.1f" d_area);
+          ("standby_nw", Printf.sprintf "%.1f" standby);
+          ("standby_delta_nw", Printf.sprintf "%.1f" d_standby);
+          ("wns_ps", Printf.sprintf "%.1f" wns);
+          ("worst_bounce_v", Printf.sprintf "%.4f" bounce);
+          ("switches", string_of_int stats.Nl_stats.sleep_switches);
+          ("holders", string_of_int stats.Nl_stats.holders);
+        ]
+      ();
+    if Log.enabled Log.Debug then
+      Log.debug "flow" ("stage: " ^ name)
+        ~fields:
+          [
+            ("ms", Printf.sprintf "%.2f" (dur_us /. 1000.0));
+            ("area", Printf.sprintf "%.1f" area);
+            ("standby_nw", Printf.sprintf "%.1f" standby);
+            ("wns", Printf.sprintf "%.1f" wns);
+          ];
+    mark := now;
     stages :=
       {
         stage_name = name;
-        stage_area = stats.Nl_stats.area_total;
-        stage_standby_nw = (Leakage.standby nl).Leakage.total;
-        stage_wns = Sta.wns sta;
+        stage_area = area;
+        stage_standby_nw = standby;
+        stage_wns = wns;
         stage_worst_bounce = bounce;
         stage_switches = stats.Nl_stats.sleep_switches;
         stage_holders = stats.Nl_stats.holders;
+        stage_ms = dur_us /. 1000.0;
       }
       :: !stages
   in
@@ -252,13 +318,14 @@ let run ?(options = default_options) technique nl =
     ~cfg:(post_route_cfg (bounce_fn_of reports0))
     ~bounce:(Bounce.worst reports0) "routing (CTS, MTE buffering, extraction)";
   (* Post-route re-optimization of the switch structure. *)
+  let reopt_stats = ref None in
   (match technique with
   | Improved_smt when options.reoptimize && !clusters <> [] ->
     let r =
       Reopt.reoptimize ?activity:!activity ~load_of:load_ext ~params
         ~detour:options.detour place
     in
-    ignore r;
+    reopt_stats := Some r;
     let reports = bounce_reports () in
     snapshot
       ~cfg:(post_route_cfg (bounce_fn_of reports))
@@ -296,6 +363,11 @@ let run ?(options = default_options) technique nl =
     swapped_to_high_vth = assign.Vth_assign.swapped;
     cells_downsized = downsized;
     ffs_retained = retained;
+    reopt_resized = (match !reopt_stats with Some r -> r.Reopt.resized | None -> 0);
+    reopt_violations_repaired =
+      (match !reopt_stats with
+      | Some r -> max 0 (r.Reopt.violations_before - r.Reopt.violations_after)
+      | None -> 0);
     mt_area_fraction = Nl_stats.mt_area_fraction stats;
     total_switch_width = stats.Nl_stats.total_switch_width;
     stages = List.rev !stages;
@@ -310,8 +382,8 @@ let pp_report fmt r =
   Format.fprintf fmt
     "%s on %s: area=%.1f um^2, standby=%.1f nW, wns=%.1f ps (met=%b), hold=%.1f ps \
      (met=%b), bounce=%.3f V (viol=%d), mt=%d sw=%d holders=%d(+%d avoided) mte_buf=%d \
-     cts_buf=%d eco_buf=%d hv_swaps=%d mt_frac=%.2f"
+     cts_buf=%d eco_buf=%d hv_swaps=%d reopt_resized=%d reopt_viol_fixed=%d mt_frac=%.2f"
     (technique_name r.technique) r.circuit r.area r.standby_nw r.wns r.timing_met
     r.hold_slack r.hold_met r.worst_bounce r.bounce_violations r.n_mt_cells r.n_switches
     r.n_holders r.holders_avoided r.n_mte_buffers r.n_cts_buffers r.n_hold_buffers
-    r.swapped_to_high_vth r.mt_area_fraction
+    r.swapped_to_high_vth r.reopt_resized r.reopt_violations_repaired r.mt_area_fraction

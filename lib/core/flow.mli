@@ -66,6 +66,7 @@ type stage = {
   stage_worst_bounce : float;
   stage_switches : int;
   stage_holders : int;
+  stage_ms : float;  (** wall-clock time from the previous snapshot to this one *)
 }
 
 type report = {
@@ -92,6 +93,10 @@ type report = {
   swapped_to_high_vth : int;
   cells_downsized : int;
   ffs_retained : int;
+  reopt_resized : int;
+      (** switches the post-route re-optimization resized (improved flow) *)
+  reopt_violations_repaired : int;
+      (** bounce-limit violations the re-optimization removed *)
   mt_area_fraction : float;
   total_switch_width : float;
   stages : stage list;

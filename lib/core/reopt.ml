@@ -3,6 +3,13 @@ module Placement = Smt_place.Placement
 module Cell = Smt_cell.Cell
 module Library = Smt_cell.Library
 module Bounce = Smt_power.Bounce
+module Trace = Smt_obs.Trace
+module Metrics = Smt_obs.Metrics
+module Log = Smt_obs.Log
+
+let m_runs = Metrics.counter "reopt.runs"
+let m_resized = Metrics.counter "reopt.switches_resized"
+let m_repaired = Metrics.counter "reopt.violations_repaired"
 
 type adjustment = {
   switch : Netlist.inst_id;
@@ -21,6 +28,8 @@ type result = {
 }
 
 let reoptimize ?activity ?load_of ?params ?(detour = 1.15) ?length_of place =
+  Trace.with_span "Reopt.reoptimize" @@ fun () ->
+  Metrics.incr m_runs;
   let nl = Placement.netlist place in
   let lib = Netlist.lib nl in
   let tech = Library.tech lib in
@@ -70,9 +79,24 @@ let reoptimize ?activity ?load_of ?params ?(detour = 1.15) ?length_of place =
       (Netlist.switches nl)
   in
   let count f = List.length (List.filter f adjustments) in
-  {
-    adjustments;
-    resized = count (fun a -> Float.abs (a.new_width -. a.old_width) > 1e-9);
-    violations_before = count (fun a -> a.bounce_before > p.Cluster.bounce_limit +. 1e-12);
-    violations_after = count (fun a -> a.bounce_after > p.Cluster.bounce_limit +. 1e-12);
-  }
+  let r =
+    {
+      adjustments;
+      resized = count (fun a -> Float.abs (a.new_width -. a.old_width) > 1e-9);
+      violations_before = count (fun a -> a.bounce_before > p.Cluster.bounce_limit +. 1e-12);
+      violations_after = count (fun a -> a.bounce_after > p.Cluster.bounce_limit +. 1e-12);
+    }
+  in
+  Metrics.incr ~by:r.resized m_resized;
+  Metrics.incr ~by:(max 0 (r.violations_before - r.violations_after)) m_repaired;
+  if Log.enabled Log.Info then
+    Log.info "reopt" "post-route switch re-optimization"
+      ~fields:
+        [
+          ("design", Netlist.design_name nl);
+          ("switches", string_of_int (List.length adjustments));
+          ("resized", string_of_int r.resized);
+          ("violations_before", string_of_int r.violations_before);
+          ("violations_after", string_of_int r.violations_after);
+        ];
+  r

@@ -46,6 +46,7 @@ let stage_json (s : Flow.stage) =
       ("worst_bounce_v", num s.Flow.stage_worst_bounce);
       ("switches", string_of_int s.Flow.stage_switches);
       ("holders", string_of_int s.Flow.stage_holders);
+      ("duration_ms", num s.Flow.stage_ms);
     ]
 
 let of_report (r : Flow.report) =
@@ -74,9 +75,14 @@ let of_report (r : Flow.report) =
       ("high_vth_swaps", string_of_int r.Flow.swapped_to_high_vth);
       ("cells_downsized", string_of_int r.Flow.cells_downsized);
       ("ffs_retained", string_of_int r.Flow.ffs_retained);
+      ("reopt_resized", string_of_int r.Flow.reopt_resized);
+      ("reopt_violations_repaired", string_of_int r.Flow.reopt_violations_repaired);
       ("mt_area_fraction", num r.Flow.mt_area_fraction);
       ("total_switch_width", num r.Flow.total_switch_width);
       ("stages", arr (List.map stage_json r.Flow.stages));
+      (* the process-global counter registry at serialization time, so a
+         paper-table run carries its own profile *)
+      ("metrics", Smt_obs.Metrics.to_json ());
     ]
 
 let entry_json (e : Compare.entry) =

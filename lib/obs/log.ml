@@ -1,0 +1,44 @@
+type level = Debug | Info | Warn | Error | Off
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3 | Off -> 4
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Off -> "off"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok Debug
+  | "info" -> Ok Info
+  | "warn" | "warning" -> Ok Warn
+  | "error" -> Ok Error
+  | "off" | "none" | "quiet" -> Ok Off
+  | other -> Error (Printf.sprintf "unknown log level %S (debug|info|warn|error|off)" other)
+
+let current =
+  ref
+    (match Sys.getenv_opt "SMT_LOG" with
+    | None -> Off
+    | Some s -> ( match level_of_string s with Ok l -> l | Error _ -> Off))
+
+let set_level l = current := l
+let level () = !current
+let enabled l = severity l >= severity !current && !current <> Off
+
+let emit l ?(fields = []) component msg =
+  if enabled l then begin
+    let b = Buffer.create 80 in
+    Buffer.add_string b (Printf.sprintf "[smt:%s] %s: %s" (level_name l) component msg);
+    List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v)) fields;
+    Buffer.add_char b '\n';
+    output_string stderr (Buffer.contents b);
+    flush stderr
+  end
+
+let debug ?fields component msg = emit Debug ?fields component msg
+let info ?fields component msg = emit Info ?fields component msg
+let warn ?fields component msg = emit Warn ?fields component msg
+let error ?fields component msg = emit Error ?fields component msg

@@ -1,0 +1,28 @@
+(** Leveled structured logging to stderr.
+
+    Every line is one event: a level tag, a component name, a message, and
+    optional [key=value] fields — grep-friendly, no multi-line records.
+    The default level is [Off], so an uninstrumented run writes nothing;
+    the [SMT_LOG] environment variable (read once at startup) or
+    [set_level] (the CLI's [--log-level]) turns it on. *)
+
+type level = Debug | Info | Warn | Error | Off
+
+val level_of_string : string -> (level, string) result
+(** Accepts [debug|info|warn|error|off] (case-insensitive). *)
+
+val level_name : level -> string
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** Would a message at this level be written under the current level? *)
+
+val debug : ?fields:(string * string) list -> string -> string -> unit
+(** [debug component msg] — likewise [info], [warn], [error].  Fields are
+    appended as [key=value] pairs. *)
+
+val info : ?fields:(string * string) list -> string -> string -> unit
+val warn : ?fields:(string * string) list -> string -> string -> unit
+val error : ?fields:(string * string) list -> string -> string -> unit

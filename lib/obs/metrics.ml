@@ -1,0 +1,140 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* upper bounds, ascending; implicit +inf last *)
+  hits : int array;  (* one per bound, plus the +inf overflow at the end *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 97
+
+let default_buckets =
+  [ 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0; 3000.0; 10000.0 ]
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.counter: %s registered as another kind" name)
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace registry name (Counter c);
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %s registered as another kind" name)
+  | None ->
+    let g = { g_name = name; value = 0.0 } in
+    Hashtbl.replace registry name (Gauge g);
+    g
+
+let set g v = g.value <- v
+let add g v = g.value <- g.value +. v
+let gauge_value g = g.value
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ ->
+    invalid_arg (Printf.sprintf "Metrics.histogram: %s registered as another kind" name)
+  | None ->
+    let bounds = Array.of_list (List.sort_uniq compare buckets) in
+    let h =
+      { h_name = name; bounds; hits = Array.make (Array.length bounds + 1) 0; sum = 0.0; n = 0 }
+    in
+    Hashtbl.replace registry name (Histogram h);
+    h
+
+let observe h v =
+  let k = Array.length h.bounds in
+  let rec slot i = if i >= k then k else if v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.hits.(i) <- h.hits.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+let fold f acc =
+  Hashtbl.fold (fun _ inst acc -> f acc inst) registry acc
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  fold
+    (fun acc inst ->
+      match inst with
+      | Counter c -> (c.c_name, float_of_int c.count) :: acc
+      | Gauge g -> (g.g_name, g.value) :: acc
+      | Histogram h ->
+        (h.h_name ^ ".count", float_of_int h.n) :: (h.h_name ^ ".sum", h.sum) :: acc)
+    []
+
+let reset () =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Histogram h ->
+        Array.fill h.hits 0 (Array.length h.hits) 0;
+        h.sum <- 0.0;
+        h.n <- 0)
+    registry
+
+let to_json () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  Hashtbl.iter
+    (fun name inst ->
+      match inst with
+      | Counter c -> counters := (name, string_of_int c.count) :: !counters
+      | Gauge g -> gauges := (name, Obs_json.num g.value) :: !gauges
+      | Histogram h ->
+        let bucket i bound =
+          Obs_json.obj
+            [ ("le", bound); ("count", string_of_int h.hits.(i)) ]
+        in
+        let buckets =
+          Array.to_list (Array.mapi (fun i b -> bucket i (Obs_json.num b)) h.bounds)
+          @ [ bucket (Array.length h.bounds) "\"+inf\"" ]
+        in
+        histograms :=
+          ( name,
+            Obs_json.obj
+              [
+                ("count", string_of_int h.n);
+                ("sum", Obs_json.num h.sum);
+                ("buckets", Obs_json.arr buckets);
+              ] )
+          :: !histograms)
+    registry;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  Obs_json.obj
+    [
+      ("counters", Obs_json.obj (sorted !counters));
+      ("gauges", Obs_json.obj (sorted !gauges));
+      ("histograms", Obs_json.obj (sorted !histograms));
+    ]
+
+let to_text () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      let s = if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      Buffer.add_string b (Printf.sprintf "%s %s\n" name s))
+    (snapshot ());
+  Buffer.contents b
+
+let write path = Obs_json.to_file path (to_json ())

@@ -1,0 +1,56 @@
+(** Process-global registry of named counters, gauges, and fixed-bucket
+    histograms.
+
+    Registration is idempotent: [counter "x"] returns the same counter every
+    time, so hot-path modules bind their instruments once at module
+    initialization and pay one integer/float store per event afterwards.
+    Instruments never affect computation results — they only observe — so a
+    run with the registry untouched is bit-identical to one that dumps it.
+
+    Naming convention: [subsystem.thing_unit] (e.g. [sta.arrival_evals],
+    [eco.buffers_added], [flow.stage_ms]). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Monotonically increasing integer count. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+(** Last-write-wins float value. *)
+
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?buckets:float list -> string -> histogram
+(** Fixed upper-bound buckets (an implicit [+inf] bucket is always added).
+    The bucket list of the first registration wins.  Default buckets suit
+    millisecond durations: powers of ~3 from 0.1 ms to 10 s. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val snapshot : unit -> (string * float) list
+(** Current value of every instrument, sorted by name.  Histograms
+    contribute [name.count] and [name.sum]. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (registrations survive).  For tests
+    and benchmark harnesses that diff the registry between workloads. *)
+
+val to_json : unit -> string
+(** The whole registry as one JSON object:
+    [{"counters":{..},"gauges":{..},"histograms":{..}}]. *)
+
+val to_text : unit -> string
+(** One [name value] line per instrument, sorted — the dump format for
+    quick greps. *)
+
+val write : string -> unit
+(** Write [to_json ()] to a file. *)

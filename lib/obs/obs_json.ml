@@ -1,0 +1,28 @@
+(* Minimal JSON emission helpers shared by Trace and Metrics.  Kept private
+   to the library in spirit: Report_json owns report serialization. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = Printf.sprintf "\"%s\"" (escape s)
+
+let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let to_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

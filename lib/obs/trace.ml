@@ -1,0 +1,83 @@
+type event = {
+  ev_name : string;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_depth : int;
+  ev_args : (string * string) list;
+}
+
+let recording = ref false
+let depth = ref 0
+let recorded : event list ref = ref []  (* newest first *)
+
+let enable () = recording := true
+let disable () = recording := false
+let enabled () = !recording
+let clear () = recorded := []
+
+(* Timestamps are relative to library load: small enough that fixed-point
+   printing keeps full microsecond precision in the exported JSON. *)
+let epoch = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. epoch) *. 1e6
+
+let record ev = recorded := ev :: !recorded
+
+let complete ?(args = []) ~name ~ts_us ~dur_us () =
+  if !recording then
+    record
+      { ev_name = name; ev_ts_us = ts_us; ev_dur_us = dur_us; ev_depth = !depth; ev_args = args }
+
+let instant ?(args = []) name =
+  if !recording then
+    record
+      { ev_name = name; ev_ts_us = now_us (); ev_dur_us = 0.0; ev_depth = !depth; ev_args = args }
+
+let with_span ?(args = []) name f =
+  if not !recording then f ()
+  else begin
+    let t0 = now_us () in
+    let d0 = !depth in
+    depth := d0 + 1;
+    let raised = ref true in
+    Fun.protect
+      ~finally:(fun () ->
+        depth := d0;
+        let t1 = now_us () in
+        let args = if !raised then ("error", "raised") :: args else args in
+        record
+          { ev_name = name; ev_ts_us = t0; ev_dur_us = t1 -. t0; ev_depth = d0; ev_args = args })
+      (fun () ->
+        let r = f () in
+        raised := false;
+        r)
+  end
+
+let events () = List.rev !recorded
+
+let event_json ev =
+  let base =
+    [
+      ("name", Obs_json.str ev.ev_name);
+      ("cat", Obs_json.str "smt");
+      ("ph", Obs_json.str "X");
+      ("ts", Printf.sprintf "%.3f" ev.ev_ts_us);
+      ("dur", Printf.sprintf "%.3f" ev.ev_dur_us);
+      ("pid", "1");
+      ("tid", "1");
+    ]
+  in
+  let args =
+    match ev.ev_args with
+    | [] -> []
+    | kv -> [ ("args", Obs_json.obj (List.map (fun (k, v) -> (k, Obs_json.str v)) kv)) ]
+  in
+  Obs_json.obj (base @ args)
+
+let to_json () =
+  Obs_json.obj
+    [
+      ("traceEvents", Obs_json.arr (List.map event_json (events ())));
+      ("displayTimeUnit", Obs_json.str "ms");
+    ]
+
+let write path = Obs_json.to_file path (to_json ())

@@ -3,6 +3,13 @@ module Cell = Smt_cell.Cell
 module Geom = Smt_util.Geom
 module Rng = Smt_util.Rng
 module Library = Smt_cell.Library
+module Trace = Smt_obs.Trace
+module Metrics = Smt_obs.Metrics
+module Log = Smt_obs.Log
+
+let m_runs = Metrics.counter "place.runs"
+let m_iterations = Metrics.counter "place.iterations"
+let m_moves = Metrics.counter "place.moves"
 
 type t = {
   nl : Netlist.t;
@@ -193,6 +200,10 @@ let legalize t order_hint =
     repacked
 
 let place ?(seed = 1) ?(utilization = 0.65) ?(iterations = 12) nl =
+  Trace.with_span "Placement.place"
+    ~args:[ ("design", Netlist.design_name nl); ("iterations", string_of_int iterations) ]
+  @@ fun () ->
+  Metrics.incr m_runs;
   let rng = Rng.create seed in
   let area = Netlist.total_area nl in
   let tech = Library.tech (Netlist.lib nl) in
@@ -253,7 +264,9 @@ let place ?(seed = 1) ?(utilization = 0.65) ?(iterations = 12) nl =
         | Some p -> List.filter (fun q -> q <> p) pts)
       nets
   in
+  let moved = ref 0 in
   for _pass = 1 to iterations do
+    Metrics.incr m_iterations;
     List.iter
       (fun iid ->
         let pts = neighbours iid in
@@ -269,8 +282,21 @@ let place ?(seed = 1) ?(utilization = 0.65) ?(iterations = 12) nl =
             { Geom.x = (cur.Geom.x +. target.Geom.x) /. 2.0;
               Geom.y = (cur.Geom.y +. target.Geom.y) /. 2.0 }
           in
-          Hashtbl.replace t.coords iid (clamp_into die blended))
+          let next = clamp_into die blended in
+          if next <> cur then incr moved;
+          Hashtbl.replace t.coords iid next)
       keyed;
     legalize t keyed
   done;
+  Metrics.incr ~by:!moved m_moves;
+  if Log.enabled Log.Debug then
+    Log.debug "place" "placed"
+      ~fields:
+        [
+          ("design", Netlist.design_name nl);
+          ("cells", string_of_int (List.length keyed));
+          ("iterations", string_of_int iterations);
+          ("moves", string_of_int !moved);
+          ("hpwl", Printf.sprintf "%.1f" (total_hpwl t));
+        ];
   t

@@ -2,6 +2,11 @@ module Netlist = Smt_netlist.Netlist
 module Cell = Smt_cell.Cell
 module Func = Smt_cell.Func
 module Nldm = Smt_cell.Nldm
+module Metrics = Smt_obs.Metrics
+
+let m_analyses = Metrics.counter "sta.analyses"
+let m_incremental = Metrics.counter "sta.incremental_updates"
+let m_arrival_evals = Metrics.counter "sta.arrival_evals"
 
 type config = {
   clock_period : float;
@@ -82,6 +87,7 @@ let cell_delay cfg nl iid =
 (* Gate delay and output slew under the configured model, at the given
    worst input slew.  The VGND bounce derate applies to either model. *)
 let gate_timing cfg nl iid ~in_slew =
+  Metrics.incr m_arrival_evals;
   let cell = Netlist.cell nl iid in
   let load = match Netlist.output_net nl iid with
     | Some out -> load_of_net cfg nl out
@@ -261,6 +267,7 @@ let backward cfg nl order ~rat ~inst_delay =
     (List.rev order)
 
 let analyze cfg nl =
+  Metrics.incr m_analyses;
   let order = Netlist.topo_order nl in
   let nnets = Netlist.net_count nl in
   let at_max = Array.make nnets neg_infinity in
@@ -302,6 +309,7 @@ let affected_insts nl changed =
   touched
 
 let update t ~changed =
+  Metrics.incr m_incremental;
   let { cfg; nl; order; _ } = t in
   let touched = affected_insts nl changed in
   let mask iid = iid < Array.length touched && touched.(iid) in
