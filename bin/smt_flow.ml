@@ -3,9 +3,15 @@
    Examples:
      smt_flow run -c circuit_a -t improved
      smt_flow run -c circuit_b -t dual --bounce-limit 0.08
+     smt_flow run -c circuit_a -t improved --guard strict
      smt_flow table1
      smt_flow list
-     smt_flow stages -c circuit_a *)
+     smt_flow stages -c circuit_a
+     smt_flow check -c circuit_a -t improved
+     smt_flow check -c circuit_a -t improved --fault drop-switch --repair
+
+   Exit codes: 0 clean, 1 Error-severity violations (check, or run with a
+   guard enabled), 2 usage errors. *)
 
 module Flow = Smt_core.Flow
 module Cluster = Smt_core.Cluster
@@ -15,6 +21,10 @@ module Tech = Smt_cell.Tech
 module Trace = Smt_obs.Trace
 module Metrics = Smt_obs.Metrics
 module Obs_log = Smt_obs.Log
+module Drc = Smt_check.Drc
+module Repair = Smt_check.Repair
+module Violation = Smt_check.Violation
+module Fault = Smt_fault.Fault
 
 open Cmdliner
 
@@ -138,28 +148,65 @@ let emit_arg =
     & opt (some string) None
     & info [ "emit" ] ~doc:"Write the transformed netlist to this file.")
 
+let guard_arg =
+  Arg.(
+    value & opt string "off"
+    & info [ "guard" ] ~docv:"MODE"
+        ~doc:
+          "Per-stage structural checking: off|warn|repair|strict.  warn records \
+           violations in the report, repair also fixes the repairable ones, strict \
+           aborts on the first Error.  Any mode other than off makes the command exit 1 \
+           when Error-severity violations remain.")
+
+let guard_of s =
+  match Flow.guard_of_string s with
+  | Ok g -> g
+  | Error e ->
+    prerr_endline e;
+    exit 2
+
+let print_diagnostics (report : Flow.report) =
+  if report.Flow.diagnostics <> [] then begin
+    Printf.printf "guard diagnostics (%d violations, %d repairs%s):\n"
+      report.Flow.check_violations report.Flow.check_repairs
+      (if report.Flow.degraded then ", DEGRADED" else "");
+    List.iter (fun d -> Printf.printf "  %s\n" d) report.Flow.diagnostics
+  end
+
 let run_cmd =
-  let run obs circuit technique seed bounce length cells retention sizing emit =
+  let run obs circuit technique seed bounce length cells retention sizing emit guard =
     match (generator_of circuit, technique_of technique) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       exit 2
     | Ok gen, Ok t ->
-      let options = options_of ~retention ~sizing seed bounce length cells in
+      let guard = guard_of guard in
+      let options =
+        { (options_of ~retention ~sizing seed bounce length cells) with Flow.guard }
+      in
       let nl = gen (lib ()) in
-      let report = Flow.run ~options t nl in
-      Format.printf "%a@." Flow.pp_report report;
-      (match emit with
-      | Some path ->
-        Smt_netlist.Writer.to_file nl path;
-        Printf.printf "netlist written to %s\n" path
-      | None -> ());
-      finish obs
+      (match Flow.run ~options t nl with
+      | report ->
+        Format.printf "%a@." Flow.pp_report report;
+        print_diagnostics report;
+        (match emit with
+        | Some path ->
+          Smt_netlist.Writer.to_file nl path;
+          Printf.printf "netlist written to %s\n" path
+        | None -> ());
+        finish obs;
+        if guard <> Flow.Guard_off && Drc.has_errors (Drc.check nl) then exit 1
+      | exception Flow.Flow_error e ->
+        Printf.eprintf "flow aborted at stage %S on %s:\n" e.Flow.fe_stage
+          e.Flow.fe_circuit;
+        List.iter (fun d -> Printf.eprintf "  %s\n" d) e.Flow.fe_diagnostics;
+        finish obs;
+        exit 1)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one flow on one circuit")
     Term.(
       const run $ obs_term $ circuit_arg $ technique_arg $ seed_arg $ bounce_arg $ length_arg
-      $ cells_arg $ retention_arg $ sizing_arg $ emit_arg)
+      $ cells_arg $ retention_arg $ sizing_arg $ emit_arg $ guard_arg)
 
 let corners_cmd =
   let run obs circuit technique seed =
@@ -280,10 +327,90 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available circuits") Term.(const run $ const ())
 
+let check_cmd =
+  let run obs circuit technique seed fault fault_seed do_repair =
+    match generator_of circuit with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen ->
+      let l = lib () in
+      let nl = gen l in
+      (* With a technique, check the flow's product; without, the raw
+         synthesized netlist. *)
+      (match technique with
+      | None -> ()
+      | Some t -> (
+        match technique_of t with
+        | Error e ->
+          prerr_endline e;
+          exit 2
+        | Ok t ->
+          let options = { Flow.default_options with Flow.seed } in
+          ignore (Flow.run ~options t nl)));
+      (match fault with
+      | None -> ()
+      | Some fname -> (
+        match Fault.of_name fname with
+        | None ->
+          Printf.eprintf "unknown fault %s (try: %s)\n" fname
+            (String.concat ", " (List.map Fault.name Fault.all));
+          exit 2
+        | Some f -> (
+          match Fault.inject ~seed:fault_seed nl f with
+          | Some inj ->
+            Printf.printf "injected %s at %s: %s\n" (Fault.name f) inj.Fault.target
+              inj.Fault.detail
+          | None -> Printf.printf "fault %s: no applicable site in %s\n" fname circuit)));
+      let vs = Drc.check_library l @ Drc.check nl in
+      let vs =
+        if do_repair && vs <> [] then begin
+          let r = Repair.repair nl vs in
+          List.iter (fun a -> Printf.printf "repaired: %s\n" a) r.Repair.actions;
+          Drc.check_library l @ Drc.check nl
+        end
+        else vs
+      in
+      List.iter (fun v -> print_endline (Violation.to_string v)) vs;
+      print_endline (Violation.summary vs);
+      finish obs;
+      if Drc.has_errors vs then exit 1
+  in
+  let technique_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "technique" ]
+          ~doc:"Check the netlist a flow produces (dual|conventional|improved) instead \
+                of the raw synthesized circuit.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"CLASS"
+          ~doc:"Inject one seeded structural fault before checking (see smt_flow check \
+                --fault help for classes).")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed for the fault site choice.")
+  in
+  let repair_arg =
+    Arg.(value & flag & info [ "repair" ] ~doc:"Run the repair pass, then re-check.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Structural design-rule check of a circuit (library data, connectivity, MT \
+          structure).  Exits 1 when Error-severity violations remain.")
+    Term.(
+      const run $ obs_term $ circuit_arg $ technique_opt_arg $ seed_arg $ fault_arg
+      $ fault_seed_arg $ repair_arg)
+
 let main =
   Cmd.group
     (Cmd.info "smt_flow" ~version:"1.0.0"
        ~doc:"Selective multi-threshold CMOS design flows (DATE 2005 reproduction)")
-    [ run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; list_cmd ]
+    [ run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; check_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -87,47 +87,70 @@ type token =
   | Tcolon
   | Tsemi
 
-let tokenize text =
+(* Every token carries the 1-based line:column where it starts, so parse
+   errors point into the source text instead of just naming a construct. *)
+let tokenize ~file text =
   let tokens = ref [] in
   let n = String.length text in
   let i = ref 0 in
+  let line = ref 1 and bol = ref 0 in
+  let pos () = (!line, !i - !bol + 1) in
+  let fail_at (l, c) msg =
+    failwith (Printf.sprintf "%s:%d:%d: Liberty.parse: %s" file l c msg)
+  in
+  let push t = tokens := (t, pos ()) :: !tokens in
   let word_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
     || c = '.' || c = '-' || c = '+'
   in
   while !i < n do
     let c = text.[!i] in
-    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ',' then incr i
-    else if c = '{' then (tokens := Tlbrace :: !tokens; incr i)
-    else if c = '}' then (tokens := Trbrace :: !tokens; incr i)
-    else if c = '(' then (tokens := Tlparen :: !tokens; incr i)
-    else if c = ')' then (tokens := Trparen :: !tokens; incr i)
-    else if c = ':' then (tokens := Tcolon :: !tokens; incr i)
-    else if c = ';' then (tokens := Tsemi :: !tokens; incr i)
+    if c = '\n' then begin
+      incr i;
+      incr line;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' || c = ',' then incr i
+    else if c = '{' then (push Tlbrace; incr i)
+    else if c = '}' then (push Trbrace; incr i)
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = ':' then (push Tcolon; incr i)
+    else if c = ';' then (push Tsemi; incr i)
     else if c = '"' then begin
-      let j = try String.index_from text (!i + 1) '"' with Not_found -> failwith "Liberty.parse: unterminated string" in
-      tokens := Tword (String.sub text (!i + 1) (j - !i - 1)) :: !tokens;
+      let start_pos = pos () in
+      let j =
+        try String.index_from text (!i + 1) '"'
+        with Not_found -> fail_at start_pos "unterminated string"
+      in
+      tokens := (Tword (String.sub text (!i + 1) (j - !i - 1)), start_pos) :: !tokens;
       i := j + 1
     end
     else if word_char c then begin
-      let start = !i in
+      let start = !i and start_pos = pos () in
       while !i < n && word_char text.[!i] do incr i done;
-      tokens := Tword (String.sub text start (!i - start)) :: !tokens
+      tokens := (Tword (String.sub text start (!i - start)), start_pos) :: !tokens
     end
-    else failwith (Printf.sprintf "Liberty.parse: unexpected character %C" c)
+    else fail_at (pos ()) (Printf.sprintf "unexpected character %C" c)
   done;
   List.rev !tokens
 
-let parse text =
-  let tokens = ref (tokenize text) in
+let parse ?(file = "<liberty>") text =
+  let tokens = ref (tokenize ~file text) in
+  let last_pos = ref (1, 1) in
+  let fail msg =
+    let l, c = !last_pos in
+    failwith (Printf.sprintf "%s:%d:%d: Liberty.parse: %s" file l c msg)
+  in
   let next () =
     match !tokens with
-    | t :: rest ->
+    | (t, pos) :: rest ->
       tokens := rest;
+      last_pos := pos;
       t
-    | [] -> failwith "Liberty.parse: unexpected end"
+    | [] -> fail "unexpected end of input"
   in
-  let peek () = match !tokens with t :: _ -> Some t | [] -> None in
+  let peek () = match !tokens with (t, _) :: _ -> Some t | [] -> None in
   (* skip a balanced { ... } block *)
   let rec skip_block depth =
     match next () with
@@ -136,9 +159,7 @@ let parse text =
     | Tword _ | Tlparen | Trparen | Tcolon | Tsemi -> skip_block depth
   in
   let parse_float s =
-    match float_of_string_opt s with
-    | Some f -> f
-    | None -> failwith (Printf.sprintf "Liberty.parse: bad number %S" s)
+    match float_of_string_opt s with Some f -> f | None -> fail (Printf.sprintf "bad number %S" s)
   in
   let cells = ref [] in
   (* inside a pin group: read attributes until the matching brace *)
@@ -150,17 +171,17 @@ let parse text =
       | Tword "direction" ->
         (match (next (), next (), next ()) with
         | Tcolon, Tword d, Tsemi -> dir := d
-        | _ -> failwith "Liberty.parse: bad direction");
+        | _ -> fail "bad direction attribute (expected direction : <dir> ;)");
         attrs ()
       | Tword "capacitance" ->
         (match (next (), next (), next ()) with
         | Tcolon, Tword v, Tsemi -> cap := parse_float v
-        | _ -> failwith "Liberty.parse: bad capacitance");
+        | _ -> fail "bad capacitance attribute (expected capacitance : <value> ;)");
         attrs ()
       | Tword "timing" ->
         (match (next (), next (), next ()) with
         | Tlparen, Trparen, Tlbrace -> skip_block 1
-        | _ -> failwith "Liberty.parse: bad timing group");
+        | _ -> fail "bad timing group (expected timing() { ... })");
         attrs ()
       | Tword _ | Tlbrace | Tlparen | Trparen | Tcolon | Tsemi -> attrs ()
     in
@@ -176,12 +197,12 @@ let parse text =
       | Tword "area" ->
         (match (next (), next (), next ()) with
         | Tcolon, Tword v, Tsemi -> area := parse_float v
-        | _ -> failwith "Liberty.parse: bad area");
+        | _ -> fail "bad area attribute (expected area : <value> ;)");
         body ()
       | Tword "cell_leakage_power" ->
         (match (next (), next (), next ()) with
         | Tcolon, Tword v, Tsemi -> leak := parse_float v
-        | _ -> failwith "Liberty.parse: bad leakage");
+        | _ -> fail "bad leakage attribute (expected cell_leakage_power : <value> ;)");
         body ()
       | Tword "pin" ->
         (match (next (), next (), next (), next ()) with
@@ -189,12 +210,12 @@ let parse text =
           let name, dir, cap = parse_pin pin_name in
           if String.equal dir "input" then ins := (name, cap) :: !ins
           else outs := name :: !outs
-        | _ -> failwith "Liberty.parse: bad pin group");
+        | _ -> fail "bad pin group (expected pin(<name>) { ... })");
         body ()
       | Tword "ff" ->
         (match (next (), next (), next (), next (), next ()) with
         | Tlparen, Tword _, Tword _, Trparen, Tlbrace -> skip_block 1
-        | _ -> failwith "Liberty.parse: bad ff group");
+        | _ -> fail "bad ff group (expected ff(<iq>, <iqn>) { ... })");
         body ()
       | Tword _ | Tlbrace | Tlparen | Trparen | Tcolon | Tsemi -> body ()
     in
@@ -217,7 +238,7 @@ let parse text =
         | Tlparen, Tword name, Trparen, Tlbrace ->
           cells := parse_cell name :: !cells;
           top ()
-        | _ -> failwith "Liberty.parse: bad cell header")
+        | _ -> fail "bad cell header (expected cell(<name>) {)")
       | Tword _ | Tlbrace | Trbrace | Tlparen | Trparen | Tcolon | Tsemi -> top ())
   in
   top ();

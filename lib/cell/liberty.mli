@@ -21,6 +21,8 @@ type parsed_cell = {
   p_output_pins : string list;
 }
 
-val parse : string -> parsed_cell list
+val parse : ?file:string -> string -> parsed_cell list
 (** Subset reader for the text [to_string] emits (group/attribute syntax
-    with one level of pin nesting). Raises [Failure] on malformed input. *)
+    with one level of pin nesting).  Raises [Failure] on malformed input
+    with a [file:line:column:] prefix locating the offending token;
+    [file] (default ["<liberty>"]) names the source in that prefix. *)

@@ -1,0 +1,82 @@
+type severity = Error | Warn
+
+type location =
+  | Design
+  | Net of string
+  | Inst of string
+  | Cell of string
+
+type code =
+  | Undriven_net
+  | Dangling_net
+  | Floating_input
+  | Unconnected_output
+  | Comb_loop
+  | Premature_vgnd
+  | Missing_vgnd_port
+  | Unreachable_vgnd
+  | Missing_holder
+  | Bad_holder
+  | Orphan_switch
+  | Degenerate_switch
+  | Mte_undriven
+  | Mte_unbuffered
+  | Bad_cell_data
+  | No_timing_endpoints
+  | Unplaced_inst
+
+type t = {
+  severity : severity;
+  code : code;
+  loc : location;
+  message : string;
+  hint : string option;
+}
+
+let code_name = function
+  | Undriven_net -> "undriven-net"
+  | Dangling_net -> "dangling-net"
+  | Floating_input -> "floating-input"
+  | Unconnected_output -> "unconnected-output"
+  | Comb_loop -> "comb-loop"
+  | Premature_vgnd -> "premature-vgnd"
+  | Missing_vgnd_port -> "missing-vgnd-port"
+  | Unreachable_vgnd -> "unreachable-vgnd"
+  | Missing_holder -> "missing-holder"
+  | Bad_holder -> "bad-holder"
+  | Orphan_switch -> "orphan-switch"
+  | Degenerate_switch -> "degenerate-switch"
+  | Mte_undriven -> "mte-undriven"
+  | Mte_unbuffered -> "mte-unbuffered"
+  | Bad_cell_data -> "bad-cell-data"
+  | No_timing_endpoints -> "no-timing-endpoints"
+  | Unplaced_inst -> "unplaced-inst"
+
+let severity_name = function Error -> "error" | Warn -> "warn"
+
+let loc_name = function
+  | Design -> "design"
+  | Net n -> "net " ^ n
+  | Inst i -> "inst " ^ i
+  | Cell c -> "cell " ^ c
+
+let repairable = function
+  | Floating_input | Missing_vgnd_port | Unreachable_vgnd | Missing_holder
+  | Bad_holder | Orphan_switch | Degenerate_switch | Bad_cell_data
+  | Unplaced_inst ->
+    true
+  | Undriven_net | Dangling_net | Unconnected_output | Comb_loop | Premature_vgnd
+  | Mte_undriven | Mte_unbuffered | No_timing_endpoints ->
+    false
+
+let to_string v =
+  Printf.sprintf "%s %s @ %s: %s%s" (severity_name v.severity) (code_name v.code)
+    (loc_name v.loc) v.message
+    (match v.hint with Some h -> " (" ^ h ^ ")" | None -> "")
+
+let errors vs = List.filter (fun v -> v.severity = Error) vs
+let warnings vs = List.filter (fun v -> v.severity = Warn) vs
+let count s vs = List.length (List.filter (fun v -> v.severity = s) vs)
+
+let summary vs =
+  Printf.sprintf "%d errors, %d warnings" (count Error vs) (count Warn vs)

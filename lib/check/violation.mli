@@ -1,0 +1,65 @@
+(** Typed design-rule violations.
+
+    Every structural problem the checker can detect is a [t]: a severity
+    (is the design unusable or merely suspicious), a machine-matchable
+    [code] (fault-injection tests key on these), a location, a
+    human-readable message, and — when the repair pass knows what to do —
+    a hint describing the fix. *)
+
+type severity = Error | Warn
+
+type location =
+  | Design  (** whole-netlist property *)
+  | Net of string
+  | Inst of string
+  | Cell of string  (** library cell *)
+
+type code =
+  | Undriven_net  (** loads but no driver and not a primary input *)
+  | Dangling_net  (** driver but nothing reads the net *)
+  | Floating_input  (** required instance pin left unconnected *)
+  | Unconnected_output  (** instance output pin left unconnected *)
+  | Comb_loop  (** combinational cycle *)
+  | Premature_vgnd  (** VGND-port MT-cell before switch insertion *)
+  | Missing_vgnd_port  (** MT-cell still portless after switch insertion *)
+  | Unreachable_vgnd  (** VGND port floating or tied to a removed switch *)
+  | Missing_holder  (** sleep-crossing output without an output holder *)
+  | Bad_holder  (** net keeper is removed or not a HOLDER cell *)
+  | Orphan_switch  (** sleep switch with no member MT-cells *)
+  | Degenerate_switch  (** footer width zero, negative, or NaN *)
+  | Mte_undriven  (** MTE net has sinks but no driver and is not a PI *)
+  | Mte_unbuffered  (** MTE fanout beyond the technology cap, unbuffered *)
+  | Bad_cell_data  (** NaN/negative delay, leakage, cap, or area *)
+  | No_timing_endpoints
+      (** no primary outputs and no flip-flops: STA cannot constrain the
+          clock and [Flow.minimal_period] falls back to its default *)
+  | Unplaced_inst  (** instance without placement coordinates *)
+
+type t = {
+  severity : severity;
+  code : code;
+  loc : location;
+  message : string;
+  hint : string option;  (** present iff the repair pass can fix this class *)
+}
+
+val code_name : code -> string
+(** Stable kebab-case identifier, e.g. ["unreachable-vgnd"]. *)
+
+val severity_name : severity -> string
+val loc_name : location -> string
+
+val repairable : code -> bool
+(** Whether [Repair.repair] knows a fix for this class (the fix can still
+    be impossible for a particular instance, e.g. no canonical library cell
+    to restore). *)
+
+val to_string : t -> string
+(** One line: [severity code @ location: message (hint)]. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val count : severity -> t list -> int
+
+val summary : t list -> string
+(** ["N errors, M warnings"]. *)

@@ -13,23 +13,34 @@ type row = {
 }
 
 let table1_row ?options fresh =
-  let reports = Flow.run_all ?options fresh in
-  match reports with
-  | [ dual; _; _ ] ->
-    let base_area = dual.Flow.area and base_leak = dual.Flow.standby_nw in
-    let entries =
-      List.map
-        (fun (r : Flow.report) ->
-          {
-            technique = r.Flow.technique;
-            report = r;
-            area_pct = 100.0 *. r.Flow.area /. base_area;
-            leakage_pct = 100.0 *. r.Flow.standby_nw /. base_leak;
-          })
-        reports
-    in
-    { circuit = dual.Flow.circuit; entries }
-  | _ -> assert false
+  let outcomes = Flow.run_all ?options fresh in
+  let reports = Flow.completed outcomes in
+  let dual =
+    match
+      List.find_opt (fun (r : Flow.report) -> r.Flow.technique = Flow.Dual_vth) reports
+    with
+    | Some d -> d
+    | None ->
+      invalid_arg
+        "Compare.table1_row: the Dual-Vth baseline flow failed, so there is nothing \
+         to normalize against"
+  in
+  let base_area = dual.Flow.area and base_leak = dual.Flow.standby_nw in
+  let entries =
+    List.map
+      (fun (r : Flow.report) ->
+        {
+          technique = r.Flow.technique;
+          report = r;
+          area_pct = 100.0 *. r.Flow.area /. base_area;
+          leakage_pct = 100.0 *. r.Flow.standby_nw /. base_leak;
+        })
+      reports
+  in
+  { circuit = dual.Flow.circuit; entries }
+
+let find_opt row technique =
+  List.find_opt (fun e -> e.technique = technique) row.entries
 
 let find row technique =
   List.find (fun e -> e.technique = technique) row.entries
@@ -44,20 +55,27 @@ let render rows =
   let body =
     List.concat_map
       (fun row ->
-        let pct f = Text_table.pct (f row) in
-        let area t = (find row t).area_pct and leak t = (find row t).leakage_pct in
+        (* A failed technique renders as "fail" rather than sinking the row. *)
+        let area t =
+          match find_opt row t with Some e -> Text_table.pct e.area_pct | None -> "fail"
+        in
+        let leak t =
+          match find_opt row t with
+          | Some e -> Text_table.pct e.leakage_pct
+          | None -> "fail"
+        in
         [
           [
             row.circuit; "Area";
-            pct (fun _ -> area Flow.Dual_vth);
-            pct (fun _ -> area Flow.Conventional_smt);
-            pct (fun _ -> area Flow.Improved_smt);
+            area Flow.Dual_vth;
+            area Flow.Conventional_smt;
+            area Flow.Improved_smt;
           ];
           [
             ""; "Leakage";
-            pct (fun _ -> leak Flow.Dual_vth);
-            pct (fun _ -> leak Flow.Conventional_smt);
-            pct (fun _ -> leak Flow.Improved_smt);
+            leak Flow.Dual_vth;
+            leak Flow.Conventional_smt;
+            leak Flow.Improved_smt;
           ];
         ])
       rows

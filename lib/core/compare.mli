@@ -12,10 +12,14 @@ type entry = {
 
 type row = {
   circuit : string;
-  entries : entry list;  (** Dual-Vth, Conventional-SMT, Improved-SMT *)
+  entries : entry list;
+      (** Dual-Vth, Conventional-SMT, Improved-SMT; a technique whose flow
+          raised {!Flow.Flow_error} (strict guard) is simply absent, and
+          [render] prints "fail" in its column *)
 }
 
 val table1_row : ?options:Flow.options -> (unit -> Smt_netlist.Netlist.t) -> row
+(** @raise Invalid_argument when the Dual-Vth baseline itself failed. *)
 
 val improvement : row -> float * float
 (** [(area_saving, leakage_saving)] of improved over conventional, as

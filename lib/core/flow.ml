@@ -15,10 +15,16 @@ module Vth = Smt_cell.Vth
 module Trace = Smt_obs.Trace
 module Metrics = Smt_obs.Metrics
 module Log = Smt_obs.Log
+module Drc = Smt_check.Drc
+module Repair = Smt_check.Repair
+module Violation = Smt_check.Violation
 
 let m_runs = Metrics.counter "flow.runs"
 let m_stages = Metrics.counter "flow.stages"
 let m_stage_ms = Metrics.histogram "flow.stage_ms"
+let m_check_violations = Metrics.counter "check.violations"
+let m_check_repairs = Metrics.counter "check.repairs"
+let m_degraded = Metrics.counter "flow.degraded"
 
 (* Stage names become metric-name components: spaces and punctuation to
    underscores so dumps stay grep- and Prometheus-friendly. *)
@@ -32,6 +38,37 @@ let technique_name = function
   | Dual_vth -> "Dual-Vth"
   | Conventional_smt -> "Con.-SMT"
   | Improved_smt -> "Imp.-SMT"
+
+type guard = Guard_off | Guard_warn | Guard_repair | Guard_strict
+
+let guard_name = function
+  | Guard_off -> "off"
+  | Guard_warn -> "warn"
+  | Guard_repair -> "repair"
+  | Guard_strict -> "strict"
+
+let guard_of_string = function
+  | "off" -> Ok Guard_off
+  | "warn" -> Ok Guard_warn
+  | "repair" -> Ok Guard_repair
+  | "strict" -> Ok Guard_strict
+  | s -> Error (Printf.sprintf "unknown guard mode %s (off|warn|repair|strict)" s)
+
+type flow_error = {
+  fe_stage : string;
+  fe_circuit : string;
+  fe_diagnostics : string list;
+}
+
+exception Flow_error of flow_error
+
+let () =
+  Printexc.register_printer (function
+    | Flow_error e ->
+      Some
+        (Printf.sprintf "Flow_error at stage %S on %s: %s" e.fe_stage e.fe_circuit
+           (String.concat "; " e.fe_diagnostics))
+    | _ -> None)
 
 type options = {
   seed : int;
@@ -50,6 +87,7 @@ type options = {
   mte_max_fanout : int option;
   cts_max_fanout : int;
   max_hold_iterations : int;
+  guard : guard;
 }
 
 let default_options =
@@ -70,6 +108,7 @@ let default_options =
     mte_max_fanout = None;
     cts_max_fanout = 8;
     max_hold_iterations = 10;
+    guard = Guard_off;
   }
 
 type stage = {
@@ -112,16 +151,30 @@ type report = {
   mt_area_fraction : float;
   total_switch_width : float;
   stages : stage list;
+  diagnostics : string list;
+  check_violations : int;
+  check_repairs : int;
+  degraded : bool;
 }
 
 (* The minimal clock period of the current netlist under the given wire
    model: run STA at a huge period and subtract the worst slack. *)
+let endpoint_free_fallback_ps = 100.0
+
 let minimal_period ?(slew_aware = false) ~wire nl =
   let probe = 1e6 in
   let cfg = Sta.config ~wire ~slew_aware ~clock_period:probe () in
   let sta = Sta.analyze cfg nl in
   let wns = Sta.wns sta in
-  if wns = infinity then 100.0 (* no endpoints: nothing constrains the clock *)
+  if wns = infinity then begin
+    (* No endpoints: nothing constrains the clock.  The checker reports the
+       same condition as a no-timing-endpoints warning. *)
+    Log.warn "flow"
+      (Printf.sprintf
+         "netlist %s has no timing endpoints; minimal_period falls back to %.1f ps"
+         (Netlist.design_name nl) endpoint_free_fallback_ps);
+    endpoint_free_fallback_ps
+  end
   else probe -. wns
 
 let connect_embedded_mte nl mte =
@@ -168,6 +221,66 @@ let run ?(options = default_options) technique nl =
     | None -> 0.0
   in
   let load_est = load_with base_cfg in
+  (* --- per-stage guard: validate, repair, or abort after each stage --- *)
+  let diagnostics = ref [] in
+  let check_violations = ref 0 in
+  let check_repairs = ref 0 in
+  let degraded = ref false in
+  let guard_phase = ref Drc.Pre_mt in
+  let expect_buffered_mte = ref false in
+  (* Persistent warnings (e.g. a dangling net the flow never touches) are
+     reported once, not once per stage. *)
+  let seen_violations = Hashtbl.create 97 in
+  let diag line =
+    diagnostics := line :: !diagnostics;
+    Log.warn "check" line
+  in
+  let guard_check stage =
+    match options.guard with
+    | Guard_off -> ()
+    | g ->
+      let run_check () =
+        Drc.check ~phase:!guard_phase ~place ~expect_buffered_mte:!expect_buffered_mte nl
+      in
+      let vs = run_check () in
+      let vs =
+        if g = Guard_repair && vs <> [] then begin
+          let r = Repair.repair ~place nl vs in
+          if r.Repair.repaired > 0 then begin
+            check_repairs := !check_repairs + r.Repair.repaired;
+            Metrics.incr m_check_repairs ~by:r.Repair.repaired;
+            List.iter (fun a -> diag (stage ^ ": repaired: " ^ a)) r.Repair.actions;
+            run_check ()
+          end
+          else vs
+        end
+        else vs
+      in
+      let fresh =
+        List.filter
+          (fun v ->
+            let key = Violation.to_string v in
+            if Hashtbl.mem seen_violations key then false
+            else begin
+              Hashtbl.add seen_violations key ();
+              true
+            end)
+          vs
+      in
+      if fresh <> [] then begin
+        check_violations := !check_violations + List.length fresh;
+        Metrics.incr m_check_violations ~by:(List.length fresh);
+        List.iter (fun v -> diag (stage ^ ": " ^ Violation.to_string v)) fresh
+      end;
+      if g = Guard_strict && Drc.has_errors vs then
+        raise
+          (Flow_error
+             {
+               fe_stage = stage;
+               fe_circuit = Netlist.design_name nl;
+               fe_diagnostics = List.map Violation.to_string (Violation.errors vs);
+             })
+  in
   let snapshot ?(cfg = base_cfg) ?(bounce = 0.0) name =
     let sta = Sta.analyze cfg nl in
     let stats = Nl_stats.compute nl in
@@ -223,7 +336,8 @@ let run ?(options = default_options) technique nl =
         stage_holders = stats.Nl_stats.holders;
         stage_ms = dur_us /. 1000.0;
       }
-      :: !stages
+      :: !stages;
+    guard_check name
   in
   snapshot "physical-synthesis (all low-Vth)";
   (* Stage: Dual-Vth-style replacement (all techniques). *)
@@ -250,39 +364,69 @@ let run ?(options = default_options) technique nl =
   let clusters = ref [] in
   let holders_avoided = ref 0 in
   let activity = ref None in
-  (match technique with
-  | Dual_vth -> ()
-  | Conventional_smt ->
-    n_mt := Mt_replace.replace Mt_replace.Conventional nl;
-    let mte = Switch_insert.mte_net_of nl in
-    connect_embedded_mte nl mte;
-    snapshot "MT-cell replacement (embedded)"
-  | Improved_smt ->
-    n_mt := Mt_replace.replace Mt_replace.Improved nl;
-    snapshot "MT-cell replacement (no VGND port)";
-    if !n_mt > 0 then begin
-      let ins =
-        Switch_insert.insert ~minimize_holders:options.minimize_holders place
-      in
-      holders_avoided := ins.Switch_insert.holders_avoided;
-      let bounce0 =
-        let wire_length_of sw = Cluster.vgnd_length place sw in
-        Bounce.worst (Bounce.analyze ~load_of:load_est nl ~wire_length_of)
-      in
-      snapshot ~bounce:bounce0 "switch & holder insertion (initial structure)";
-      let act = Activity.estimate ~cycles:options.activity_cycles ~seed:options.seed nl in
-      activity := Some act;
-      let built =
-        Cluster.build ~activity:act ~load_of:load_est ~params place
-          ~mte_net:ins.Switch_insert.mte_net
-      in
-      clusters := built.Cluster.clusters;
-      let bounce1 =
-        let wire_length_of sw = Cluster.vgnd_length place sw in
-        Bounce.worst (Bounce.analyze ~activity:act ~load_of:load_est nl ~wire_length_of)
-      in
-      snapshot ~bounce:bounce1 "switch structure construction (clustering & sizing)"
-    end);
+  let construct_mt () =
+    match technique with
+    | Dual_vth -> ()
+    | Conventional_smt ->
+      n_mt := Mt_replace.replace Mt_replace.Conventional nl;
+      let mte = Switch_insert.mte_net_of nl in
+      connect_embedded_mte nl mte;
+      snapshot "MT-cell replacement (embedded)"
+    | Improved_smt ->
+      n_mt := Mt_replace.replace Mt_replace.Improved nl;
+      snapshot "MT-cell replacement (no VGND port)";
+      if !n_mt > 0 then begin
+        let ins =
+          Switch_insert.insert ~minimize_holders:options.minimize_holders place
+        in
+        guard_phase := Drc.Post_mt;
+        holders_avoided := ins.Switch_insert.holders_avoided;
+        let bounce0 =
+          let wire_length_of sw = Cluster.vgnd_length place sw in
+          Bounce.worst (Bounce.analyze ~load_of:load_est nl ~wire_length_of)
+        in
+        snapshot ~bounce:bounce0 "switch & holder insertion (initial structure)";
+        let act =
+          Activity.estimate ~cycles:options.activity_cycles ~seed:options.seed nl
+        in
+        activity := Some act;
+        let built =
+          Cluster.build ~activity:act ~load_of:load_est ~params place
+            ~mte_net:ins.Switch_insert.mte_net
+        in
+        clusters := built.Cluster.clusters;
+        let bounce1 =
+          let wire_length_of sw = Cluster.vgnd_length place sw in
+          Bounce.worst (Bounce.analyze ~activity:act ~load_of:load_est nl ~wire_length_of)
+        in
+        snapshot ~bounce:bounce1 "switch structure construction (clustering & sizing)"
+      end
+  in
+  (match options.guard with
+  | Guard_off -> construct_mt ()
+  | Guard_strict -> (
+    try construct_mt () with
+    | Flow_error _ as e -> raise e
+    | exn ->
+      raise
+        (Flow_error
+           {
+             fe_stage = "MT construction";
+             fe_circuit = Netlist.design_name nl;
+             fe_diagnostics = [ Printexc.to_string exn ];
+           }))
+  | Guard_warn | Guard_repair -> (
+    (* Graceful degradation: a failed MT conversion leaves the design a
+       working (if unoptimized) Dual-Vth-style circuit.  Report that rather
+       than abort the whole comparison. *)
+    try construct_mt () with
+    | Flow_error _ as e -> raise e
+    | exn ->
+      degraded := true;
+      Metrics.incr m_degraded;
+      diag
+        (Printf.sprintf "MT construction failed (%s); degrading to a Dual-Vth-style flow"
+           (Printexc.to_string exn))));
   (* Routing stage: CTS, then MTE buffering, then extraction. *)
   let cts = Cts.synthesize ~max_fanout:options.cts_max_fanout place in
   let mte_buffers =
@@ -295,6 +439,7 @@ let run ?(options = default_options) technique nl =
         r.Mte.buffers
       | None -> 0)
   in
+  expect_buffered_mte := true;
   let ext = Parasitics.extract ~detour:options.detour place in
   let wire_ext = Parasitics.wire_model ext nl in
   let ext_cfg = Sta.config ~wire:wire_ext ~slew_aware:options.slew_aware ~clock_period () in
@@ -371,11 +516,28 @@ let run ?(options = default_options) technique nl =
     mt_area_fraction = Nl_stats.mt_area_fraction stats;
     total_switch_width = stats.Nl_stats.total_switch_width;
     stages = List.rev !stages;
+    diagnostics = List.rev !diagnostics;
+    check_violations = !check_violations;
+    check_repairs = !check_repairs;
+    degraded = !degraded;
   }
+
+type outcome =
+  | Completed of report
+  | Failed of { technique : technique; stage : string; diagnostics : string list }
+
+let completed outcomes =
+  List.filter_map (function Completed r -> Some r | Failed _ -> None) outcomes
 
 let run_all ?options fresh =
   List.map
-    (fun technique -> run ?options technique (fresh ()))
+    (fun technique ->
+      try Completed (run ?options technique (fresh ())) with
+      | Flow_error e ->
+        Log.error "flow"
+          (Printf.sprintf "%s failed at %s" (technique_name technique) e.fe_stage)
+          ~fields:[ ("circuit", e.fe_circuit) ];
+        Failed { technique; stage = e.fe_stage; diagnostics = e.fe_diagnostics })
     [ Dual_vth; Conventional_smt; Improved_smt ]
 
 let pp_report fmt r =
@@ -386,4 +548,8 @@ let pp_report fmt r =
     (technique_name r.technique) r.circuit r.area r.standby_nw r.wns r.timing_met
     r.hold_slack r.hold_met r.worst_bounce r.bounce_violations r.n_mt_cells r.n_switches
     r.n_holders r.holders_avoided r.n_mte_buffers r.n_cts_buffers r.n_hold_buffers
-    r.swapped_to_high_vth r.reopt_resized r.reopt_violations_repaired r.mt_area_fraction
+    r.swapped_to_high_vth r.reopt_resized r.reopt_violations_repaired r.mt_area_fraction;
+  if r.degraded then Format.fprintf fmt " DEGRADED";
+  if r.check_violations > 0 || r.check_repairs > 0 then
+    Format.fprintf fmt " check_viol=%d check_repairs=%d" r.check_violations
+      r.check_repairs

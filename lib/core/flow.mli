@@ -18,11 +18,50 @@
       full Fig. 4 pipeline.
 
     [run] mutates the netlist it is given; use [Smt_netlist.Clone.copy] or
-    a generator thunk ([run_all]) to compare techniques on one circuit. *)
+    a generator thunk ([run_all]) to compare techniques on one circuit.
+
+    {2 Guarding}
+
+    With [options.guard] above {!Guard_off}, every stage snapshot is
+    followed by a structural design-rule check ({!Smt_check.Drc.check})
+    against the live netlist:
+
+    - {!Guard_warn} records violations as report diagnostics (and
+      [check.violations] metrics) and keeps going;
+    - {!Guard_repair} first lets {!Smt_check.Repair.repair} fix what it
+      can (reconnect floating MTE pins, re-insert holders, clamp
+      degenerate footers, ...), then records whatever remains;
+    - {!Guard_strict} raises {!Flow_error} on the first Error-severity
+      violation, naming the stage and the offending objects.
+
+    Under [warn] and [repair] an exception out of the MT-construction
+    stages degrades the run instead of aborting it: the flow continues on
+    the Dual-Vth-style circuit it still has, sets [report.degraded], and
+    appends the cause to [report.diagnostics].
+
+    With the guard at its {!Guard_off} default no check or repair runs and
+    reports are bit-identical to a build without this subsystem. *)
 
 type technique = Dual_vth | Conventional_smt | Improved_smt
 
 val technique_name : technique -> string
+
+(** Per-stage netlist validation policy; see the module preamble. *)
+type guard = Guard_off | Guard_warn | Guard_repair | Guard_strict
+
+val guard_name : guard -> string
+val guard_of_string : string -> (guard, string) result
+
+type flow_error = {
+  fe_stage : string;  (** stage whose post-check (or body) failed *)
+  fe_circuit : string;
+  fe_diagnostics : string list;  (** rendered violations or the exception *)
+}
+
+exception Flow_error of flow_error
+(** Raised under {!Guard_strict} when a stage leaves Error-severity
+    violations behind, and by any guard mode when a failure cannot be
+    degraded away. *)
 
 type options = {
   seed : int;
@@ -54,6 +93,7 @@ type options = {
   mte_max_fanout : int option;
   cts_max_fanout : int;
   max_hold_iterations : int;
+  guard : guard;  (** per-stage structural checking; default {!Guard_off} *)
 }
 
 val default_options : options
@@ -100,11 +140,45 @@ type report = {
   mt_area_fraction : float;
   total_switch_width : float;
   stages : stage list;
+  diagnostics : string list;
+      (** guard findings in flow order: violations (rendered once each,
+          however many stages they persist through) and repair actions.
+          Empty under {!Guard_off} *)
+  check_violations : int;  (** distinct violations the guard recorded *)
+  check_repairs : int;  (** repair actions applied under {!Guard_repair} *)
+  degraded : bool;
+      (** MT construction failed and the flow fell back to the Dual-Vth-style
+          circuit it had (guard [warn]/[repair] only) *)
 }
 
-val run : ?options:options -> technique -> Smt_netlist.Netlist.t -> report
+val endpoint_free_fallback_ps : float
+(** Period [minimal_period] reports for a netlist with no timing endpoints
+    (no non-clock primary outputs and no flip-flops): with nothing for STA
+    to constrain, the worst slack is [+inf] and no finite critical path
+    exists, so the flow assumes this nominal 100 ps period rather than a
+    meaningless one.  The condition is logged at [warn] level and surfaces
+    from the checker as a [no-timing-endpoints] violation. *)
 
-val run_all : ?options:options -> (unit -> Smt_netlist.Netlist.t) -> report list
+val minimal_period : ?slew_aware:bool -> wire:Smt_sta.Wire.t -> Smt_netlist.Netlist.t -> float
+(** Minimal clock period of the netlist under the wire model: STA at a
+    probe period minus the worst slack.  Falls back to
+    {!endpoint_free_fallback_ps} when the design has no timing endpoints. *)
+
+val run : ?options:options -> technique -> Smt_netlist.Netlist.t -> report
+(** @raise Flow_error under {!Guard_strict} on Error-severity violations. *)
+
+(** One technique's result in a [run_all] sweep: either its report or,
+    when {!Flow_error} escaped [run], the stage and diagnostics of the
+    failure — one broken technique no longer aborts the whole
+    comparison. *)
+type outcome =
+  | Completed of report
+  | Failed of { technique : technique; stage : string; diagnostics : string list }
+
+val completed : outcome list -> report list
+(** The successful reports, in sweep order. *)
+
+val run_all : ?options:options -> (unit -> Smt_netlist.Netlist.t) -> outcome list
 (** One fresh netlist per technique, in order
     [Dual_vth; Conventional_smt; Improved_smt]. *)
 

@@ -50,8 +50,28 @@ let stage_json (s : Flow.stage) =
     ]
 
 let of_report (r : Flow.report) =
+  (* Guard results appear only when a guard actually recorded something, so
+     guard-off output stays byte-identical to earlier builds. *)
+  let check_fields =
+    if
+      r.Flow.diagnostics = [] && r.Flow.check_violations = 0
+      && r.Flow.check_repairs = 0
+      && not r.Flow.degraded
+    then []
+    else
+      [
+        ( "check",
+          obj
+            [
+              ("violations", string_of_int r.Flow.check_violations);
+              ("repairs", string_of_int r.Flow.check_repairs);
+              ("degraded", boolean r.Flow.degraded);
+              ("diagnostics", arr (List.map str r.Flow.diagnostics));
+            ] );
+      ]
+  in
   obj
-    [
+    ([
       ("technique", str (Flow.technique_name r.Flow.technique));
       ("circuit", str r.Flow.circuit);
       ("clock_period_ps", num r.Flow.clock_period);
@@ -84,6 +104,7 @@ let of_report (r : Flow.report) =
          paper-table run carries its own profile *)
       ("metrics", Smt_obs.Metrics.to_json ());
     ]
+    @ check_fields)
 
 let entry_json (e : Compare.entry) =
   obj

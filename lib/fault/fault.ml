@@ -1,0 +1,151 @@
+module Netlist = Smt_netlist.Netlist
+module Nl_check = Smt_netlist.Check
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Rng = Smt_util.Rng
+module V = Smt_check.Violation
+
+type fault =
+  | Drop_switch
+  | Disconnect_holder
+  | Poison_library
+  | Break_mte_fanout
+  | Orphan_cluster
+  | Zero_width_switch
+  | Undrive_net
+
+let all =
+  [
+    Drop_switch; Disconnect_holder; Poison_library; Break_mte_fanout;
+    Orphan_cluster; Zero_width_switch; Undrive_net;
+  ]
+
+let name = function
+  | Drop_switch -> "drop-switch"
+  | Disconnect_holder -> "disconnect-holder"
+  | Poison_library -> "poison-library"
+  | Break_mte_fanout -> "break-mte-fanout"
+  | Orphan_cluster -> "orphan-cluster"
+  | Zero_width_switch -> "zero-width-switch"
+  | Undrive_net -> "undrive-net"
+
+let of_name s = List.find_opt (fun f -> String.equal (name f) s) all
+
+let expected_codes = function
+  | Drop_switch -> [ V.Unreachable_vgnd ]
+  | Disconnect_holder -> [ V.Missing_holder ]
+  | Poison_library -> [ V.Bad_cell_data ]
+  | Break_mte_fanout -> [ V.Floating_input ]
+  | Orphan_cluster -> [ V.Unreachable_vgnd; V.Orphan_switch ]
+  | Zero_width_switch -> [ V.Degenerate_switch ]
+  | Undrive_net -> [ V.Undriven_net ]
+
+let repairable = function
+  | Drop_switch | Disconnect_holder | Poison_library | Break_mte_fanout
+  | Orphan_cluster | Zero_width_switch ->
+    true
+  | Undrive_net -> false
+
+type injection = {
+  fault : fault;
+  target : string;
+  detail : string;
+}
+
+let pick_opt rng = function
+  | [] -> None
+  | xs -> Some (List.nth xs (Rng.int rng (List.length xs)))
+
+(* Switches that actually gate MT-cells: dropping or detaching those is
+   what makes the fault observable. *)
+let populated_switches nl =
+  List.filter (fun sw -> Netlist.switch_members nl sw <> []) (Netlist.switches nl)
+
+let inject ~seed nl fault =
+  let rng = Rng.create (0x0fa17 + seed) in
+  let made target detail = Some { fault; target; detail } in
+  match fault with
+  | Drop_switch -> (
+    match pick_opt rng (populated_switches nl) with
+    | None -> None
+    | Some sw ->
+      let target = Netlist.inst_name nl sw in
+      let members = List.length (Netlist.switch_members nl sw) in
+      Netlist.remove_inst nl sw;
+      made target (Printf.sprintf "removed switch gating %d MT-cells" members))
+  | Disconnect_holder -> (
+    let held = ref [] in
+    Netlist.iter_nets nl (fun nid ->
+        match Netlist.holder_of nl nid with
+        | Some h when Nl_check.holder_required nl nid -> held := (nid, h) :: !held
+        | Some _ | None -> ());
+    match pick_opt rng !held with
+    | None -> None
+    | Some (nid, h) ->
+      let target = Netlist.net_name nl nid in
+      let hname = Netlist.inst_name nl h in
+      Netlist.remove_inst nl h;
+      made target (Printf.sprintf "deleted required holder %s" hname))
+  | Poison_library -> (
+    let logic =
+      List.filter
+        (fun iid ->
+          let k = (Netlist.cell nl iid).Cell.kind in
+          (not (Func.is_infrastructure k)) && not (Func.is_sequential k))
+        (Netlist.live_insts nl)
+    in
+    match pick_opt rng logic with
+    | None -> None
+    | Some iid ->
+      let c = Netlist.cell nl iid in
+      Netlist.replace_cell nl iid { c with Cell.leak_standby = Float.nan };
+      made (Netlist.inst_name nl iid)
+        (Printf.sprintf "poisoned cell %s with NaN standby leakage" c.Cell.name))
+  | Break_mte_fanout -> (
+    match Netlist.find_net nl "MTE" with
+    | None -> None
+    | Some mte -> (
+      match pick_opt rng (Netlist.sinks nl mte) with
+      | None -> None
+      | Some (pin : Netlist.pin) ->
+        Netlist.disconnect nl pin.Netlist.inst pin.Netlist.pin_name;
+        made
+          (Netlist.inst_name nl pin.Netlist.inst)
+          (Printf.sprintf "disconnected pin %s from the MTE net" pin.Netlist.pin_name)))
+  | Orphan_cluster -> (
+    match pick_opt rng (populated_switches nl) with
+    | None -> None
+    | Some sw ->
+      let members = Netlist.switch_members nl sw in
+      List.iter (fun iid -> Netlist.set_vgnd_switch nl iid None) members;
+      made (Netlist.inst_name nl sw)
+        (Printf.sprintf "detached all %d members from their switch" (List.length members)))
+  | Zero_width_switch -> (
+    match pick_opt rng (Netlist.switches nl) with
+    | None -> None
+    | Some sw ->
+      let c = Netlist.cell nl sw in
+      Netlist.replace_cell nl sw { c with Cell.switch_width = 0.0 };
+      made (Netlist.inst_name nl sw) "degraded footer to zero width")
+  | Undrive_net -> (
+    let drivers =
+      List.filter
+        (fun iid ->
+          match Netlist.output_net nl iid with
+          | Some out ->
+            Netlist.sinks nl out <> []
+            && not (Func.is_infrastructure (Netlist.cell nl iid).Cell.kind)
+          | None -> false)
+        (Netlist.live_insts nl)
+    in
+    match pick_opt rng drivers with
+    | None -> None
+    | Some iid ->
+      let out_pin = (Func.output_names (Netlist.cell nl iid).Cell.kind).(0) in
+      let net =
+        match Netlist.output_net nl iid with
+        | Some out -> Netlist.net_name nl out
+        | None -> "?"
+      in
+      Netlist.disconnect nl iid out_pin;
+      made net (Printf.sprintf "disconnected driver %s.%s" (Netlist.inst_name nl iid) out_pin))

@@ -1,0 +1,44 @@
+(** Seeded structural fault injection.
+
+    Each fault class corrupts a healthy post-MT design the way real flow
+    bugs (or hand edits to an emitted netlist) do: a sleep switch vanishes,
+    a holder is dropped, a library entry goes NaN, the MTE tree loses a
+    branch, a whole cluster is orphaned, a footer degenerates to zero
+    width, a net loses its driver.  The harness exists to prove the
+    checker's coverage: for every class, [expected_codes] lists the
+    {!Smt_check.Violation.code}s that [Smt_check.Drc.check] must report
+    after the injection, and [repairable] says whether
+    [Smt_check.Repair.repair] must then restore a clean report. *)
+
+type fault =
+  | Drop_switch  (** remove a sleep switch out from under its members *)
+  | Disconnect_holder  (** delete a required output holder *)
+  | Poison_library  (** corrupt an instance's cell data with NaN leakage *)
+  | Break_mte_fanout  (** disconnect one MTE pin from the enable tree *)
+  | Orphan_cluster  (** detach every member of one cluster from its switch *)
+  | Zero_width_switch  (** degrade a footer to zero width *)
+  | Undrive_net  (** disconnect a driving output, leaving sinks floating *)
+
+val all : fault list
+
+val name : fault -> string
+val of_name : string -> fault option
+
+val expected_codes : fault -> Smt_check.Violation.code list
+(** Violation classes the checker must report once this fault is live; at
+    least one of them must appear (test-enforced). *)
+
+val repairable : fault -> bool
+(** Whether the repair pass must be able to clear every expected violation
+    of this class. *)
+
+type injection = {
+  fault : fault;
+  target : string;  (** instance or net the fault landed on *)
+  detail : string;
+}
+
+val inject : seed:int -> Smt_netlist.Netlist.t -> fault -> injection option
+(** Mutate the netlist with one seeded instance of the fault.  [None] when
+    the design offers no applicable site (e.g. [Drop_switch] on a
+    switchless Dual-Vth netlist); the netlist is untouched in that case. *)

@@ -14,18 +14,30 @@ type token =
 
 type lexer = {
   text : string;
+  file : string;
   mutable pos : int;
   mutable line : int;
-  mutable peeked : token option;
+  mutable bol : int;  (** offset of the current line's first character *)
+  mutable tok_line : int;  (** position of the last token handed out *)
+  mutable tok_col : int;
+  mutable peeked : (token * int * int) option;
 }
 
-let fail lx msg = raise (Parse_error (Printf.sprintf "line %d: %s" lx.line msg))
+(* Errors point at the start of the offending token (or, while lexing, the
+   current character), as file:line:column. *)
+let fail lx msg =
+  raise (Parse_error (Printf.sprintf "%s:%d:%d: %s" lx.file lx.tok_line lx.tok_col msg))
 
 let is_ident_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
   || c = '[' || c = ']'
 
+let mark lx =
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.pos - lx.bol + 1
+
 let rec lex_token lx =
+  mark lx;
   if lx.pos >= String.length lx.text then Eof
   else
     let c = lx.text.[lx.pos] in
@@ -36,6 +48,7 @@ let rec lex_token lx =
     | '\n' ->
       lx.pos <- lx.pos + 1;
       lx.line <- lx.line + 1;
+      lx.bol <- lx.pos;
       lex_token lx
     | '/' when lx.pos + 1 < String.length lx.text && lx.text.[lx.pos + 1] = '/' ->
       let eol =
@@ -66,17 +79,19 @@ let rec lex_token lx =
 
 let next lx =
   match lx.peeked with
-  | Some t ->
+  | Some (t, l, c) ->
     lx.peeked <- None;
+    lx.tok_line <- l;
+    lx.tok_col <- c;
     t
   | None -> lex_token lx
 
 let peek lx =
   match lx.peeked with
-  | Some t -> t
+  | Some (t, _, _) -> t
   | None ->
     let t = lex_token lx in
-    lx.peeked <- Some t;
+    lx.peeked <- Some (t, lx.tok_line, lx.tok_col);
     t
 
 let expect_ident lx =
@@ -105,8 +120,10 @@ let resolve_cell lx lib name =
 
 type decl = Decl_input | Decl_output | Decl_wire
 
-let of_string ~lib text =
-  let lx = { text; pos = 0; line = 1; peeked = None } in
+let of_string ?(file = "<netlist>") ~lib text =
+  let lx =
+    { text; file; pos = 0; line = 1; bol = 0; tok_line = 1; tok_col = 1; peeked = None }
+  in
   let rec skip_directives acc =
     match peek lx with
     | Directive d ->
@@ -210,7 +227,11 @@ let of_string ~lib text =
       | [ "@vgnd"; inst; sw ] -> (
         match (Netlist.find_inst nl inst, Netlist.find_inst nl sw) with
         | Some i, Some s -> Netlist.set_vgnd_switch nl i (Some s)
-        | _ -> raise (Parse_error (Printf.sprintf "@vgnd refers to unknown instance %s or %s" inst sw)))
+        | _ ->
+          raise
+            (Parse_error
+               (Printf.sprintf "%s: @vgnd refers to unknown instance %s or %s" file inst
+                  sw)))
       | _ -> ())
     directives;
   nl
@@ -222,4 +243,4 @@ let of_file ~lib path =
     (fun () ->
       let n = in_channel_length ic in
       let text = really_input_string ic n in
-      of_string ~lib text)
+      of_string ~file:path ~lib text)

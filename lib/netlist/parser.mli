@@ -7,8 +7,11 @@
     on demand. *)
 
 exception Parse_error of string
-(** Carries a message with a line number. *)
+(** Carries a message prefixed with [file:line:column:] locating the
+    offending token. *)
 
-val of_string : lib:Smt_cell.Library.t -> string -> Netlist.t
+val of_string : ?file:string -> lib:Smt_cell.Library.t -> string -> Netlist.t
+(** [file] (default ["<netlist>"]) names the source in error messages. *)
 
 val of_file : lib:Smt_cell.Library.t -> string -> Netlist.t
+(** Errors carry the actual path. *)

@@ -18,7 +18,7 @@ let fast_options = { Flow.default_options with Flow.activity_cycles = 48 }
 
 let reports =
   lazy
-    (match Flow.run_all ~options:fast_options gen with
+    (match Flow.completed (Flow.run_all ~options:fast_options gen) with
     | [ d; c; i ] -> (d, c, i)
     | _ -> assert false)
 

@@ -379,6 +379,75 @@ let prop_standby_protocol_holds =
         && o.Smt_core.Standby.all_wake_cycles_correct
       end)
 
+(* --- checker / fault-injection properties --- *)
+
+module Drc = Smt_check.Drc
+module Repair = Smt_check.Repair
+module Violation = Smt_check.Violation
+module Fault = Smt_fault.Fault
+
+(* Improved-MT transform of a random circuit; None when no cell survives as
+   an MT candidate. *)
+let random_mt_netlist seed =
+  let nl = random_netlist ((seed * 4) + 2) in
+  let probe = 1e6 in
+  let sta = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
+  let period = (probe -. Sta.wns sta) *. 1.05 in
+  ignore (Smt_core.Vth_assign.assign (Sta.config ~clock_period:period ()) nl);
+  if Smt_core.Mt_replace.replace Smt_core.Mt_replace.Improved nl = 0 then None
+  else begin
+    let place = Placement.place ~seed nl in
+    ignore (Smt_core.Switch_insert.insert place);
+    Some (nl, place)
+  end
+
+let prop_checker_clean_on_generated =
+  QCheck2.Test.make ~name:"checker finds no errors in generated netlists" ~count:25
+    seed_gen
+    (fun seed ->
+      Violation.errors (Drc.check ~expect_buffered_mte:false (random_netlist seed)) = [])
+
+let prop_checker_agrees_with_validate =
+  (* The typed checker must flag at least whatever the netlist-level
+     validator flags: no error class escapes the new layer. *)
+  QCheck2.Test.make ~name:"checker errors iff validate errors (random corruption)"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 6))
+    (fun (seed, which) ->
+      match random_mt_netlist seed with
+      | None -> true
+      | Some (nl, place) ->
+        let fault = List.nth Fault.all (which mod List.length Fault.all) in
+        (match Fault.inject ~seed nl fault with
+        | None -> true
+        | Some _ ->
+          let detected =
+            List.map
+              (fun v -> v.Violation.code)
+              (Drc.check ~place ~expect_buffered_mte:false nl)
+          in
+          List.exists (fun c -> List.mem c detected) (Fault.expected_codes fault)))
+
+let prop_repair_clears_repairable =
+  QCheck2.Test.make ~name:"repair clears repairable faults and is idempotent" ~count:15
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 6))
+    (fun (seed, which) ->
+      match random_mt_netlist seed with
+      | None -> true
+      | Some (nl, place) ->
+        let fault = List.nth Fault.all (which mod List.length Fault.all) in
+        if not (Fault.repairable fault) then true
+        else begin
+          match Fault.inject ~seed nl fault with
+          | None -> true
+          | Some _ ->
+            let vs = Drc.check ~place ~expect_buffered_mte:false nl in
+            ignore (Repair.repair ~place nl vs);
+            let after = Drc.check ~place ~expect_buffered_mte:false nl in
+            let again = Repair.repair ~place nl after in
+            Violation.errors after = [] && again.Repair.repaired = 0
+        end)
+
 let () =
   Alcotest.run "smt_props"
     [
@@ -407,6 +476,12 @@ let () =
         ] );
       ( "mt-invariants",
         [ qtest prop_cluster_invariants; qtest prop_holder_rule_sound ] );
+      ( "check",
+        [
+          qtest prop_checker_clean_on_generated;
+          qtest prop_checker_agrees_with_validate;
+          qtest prop_repair_clears_repairable;
+        ] );
       ( "extensions",
         [
           qtest prop_router_sound;
