@@ -716,21 +716,63 @@ let bechamel_benches () =
   let rows = List.sort compare !rows in
   print_endline (Text_table.render ~header:[ "Benchmark"; "Time per run" ] rows)
 
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Each section runs against a freshly zeroed metrics registry, so its
+   counter readout is its own work, not the accumulation of everything
+   before it (which is what the old whole-run dump showed). *)
+let run_sections sections =
+  List.map
+    (fun (name, f) ->
+      Metrics.reset ();
+      f ();
+      (name, Metrics.counters ()))
+    sections
+
+let sections_json per_section =
+  let module J = Smt_obs.Obs_json in
+  J.obj
+    (List.map
+       (fun (name, counters) ->
+         ( name,
+           J.obj
+             (List.map (fun (c, v) -> (c, string_of_int v))
+                (List.sort compare counters)) ))
+       per_section)
+
 let () =
-  table1 ();
-  fig1 ();
-  fig23 ();
-  fig4 ();
-  ablation ();
-  extensions ();
-  system ();
-  bechamel_benches ();
-  (* SMT_METRICS=FILE dumps the whole-run counter registry for regression
-     tracking of how much work the reproduction does, not just how long. *)
+  let per_section =
+    run_sections
+      [
+        ("table1", table1);
+        ("fig1", fig1);
+        ("fig23", fig23);
+        ("fig4", fig4);
+        ("ablation", ablation);
+        ("extensions", extensions);
+        ("system", system);
+        ("bechamel", bechamel_benches);
+      ]
+  in
+  (* SMT_METRICS=FILE dumps one counter object per section — regression
+     tracking of how much work each reproduction does, not just how long. *)
   (match Sys.getenv_opt "SMT_METRICS" with
   | Some path ->
-    Metrics.write path;
-    Printf.eprintf "metrics written to %s\n%!" path
+    Smt_obs.Obs_json.to_file path (sections_json per_section);
+    Printf.eprintf "per-section metrics written to %s\n%!" path
   | None -> ());
+  (* Freeze the QoR snapshot the regression gate compares against
+     (SMT_BENCH_OUT overrides the path). *)
+  let bench_out =
+    Option.value (Sys.getenv_opt "SMT_BENCH_OUT") ~default:"BENCH_seed.json"
+  in
+  Metrics.reset ();
+  let snap = Smt_core.Qor.collect ~tag:"seed" () in
+  Smt_obs.Snapshot.write bench_out snap;
+  Printf.eprintf "QoR snapshot (%d workloads) written to %s\n%!"
+    (List.length snap.Smt_obs.Snapshot.s_workloads)
+    bench_out;
   print_newline ();
   print_endline "all reproduction sections complete."

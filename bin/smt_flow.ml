@@ -321,6 +321,124 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Sign-off style timing / power / area reports")
     Term.(const run $ obs_term $ circuit_arg $ technique_arg $ seed_arg)
 
+let explain_cmd =
+  let run obs what circuit technique seed k json =
+    match (generator_of circuit, technique_of technique) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen, Ok t ->
+      let options = { Flow.default_options with Flow.seed } in
+      let report, artifacts = Flow.run_with_artifacts ~options t (gen (lib ())) in
+      let out =
+        match what with
+        | "paths" ->
+          if json then Smt_core.Explain.paths_json ~k report artifacts
+          else Smt_core.Explain.paths ~k report artifacts
+        | "leakage" ->
+          if json then Smt_core.Explain.leakage_json report artifacts
+          else Smt_core.Explain.leakage report artifacts
+        | "clusters" ->
+          if json then Smt_core.Explain.clusters_json report artifacts
+          else Smt_core.Explain.clusters report artifacts
+        | s ->
+          Printf.eprintf "unknown report %s (paths|leakage|clusters)\n" s;
+          exit 2
+      in
+      print_endline out;
+      finish obs
+  in
+  let what_arg =
+    Arg.(
+      value & pos 0 string "paths"
+      & info [] ~docv:"REPORT"
+          ~doc:"Which attribution to render: paths|leakage|clusters.")
+  in
+  let k_arg =
+    Arg.(value & opt int 5 & info [ "k"; "paths" ] ~doc:"Worst paths to list (paths report).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "QoR attribution: critical paths with per-arc cell/wire delays, standby leakage \
+          by Vth class / function / flow stage, or per-cluster switch occupancy and \
+          bounce margin.  Reads the flow's own final STA, so the worst path slack \
+          matches the reported WNS exactly.")
+    Term.(
+      const run $ obs_term $ what_arg $ circuit_arg $ technique_arg $ seed_arg $ k_arg
+      $ json_arg)
+
+let bench_snapshot_cmd =
+  let run obs seed tag out =
+    let snap = Smt_core.Qor.collect ~seed ~tag () in
+    let path = match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" tag in
+    Smt_obs.Snapshot.write path snap;
+    Printf.printf "snapshot %s (%d workloads) written to %s\n" tag
+      (List.length snap.Smt_obs.Snapshot.s_workloads)
+      path;
+    finish obs
+  in
+  let tag_arg =
+    Arg.(value & opt string "snapshot" & info [ "tag" ] ~doc:"Snapshot tag (names the default output file).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default BENCH_<tag>.json).")
+  in
+  Cmd.v
+    (Cmd.info "bench-snapshot"
+       ~doc:
+         "Run the benchmark workloads (circuits A and B under each technique) and write \
+          a versioned QoR snapshot: per-workload QoR fields, deterministic work-counter \
+          deltas, and per-stage wall-clock times.")
+    Term.(const run $ obs_term $ seed_arg $ tag_arg $ out_arg)
+
+let bench_compare_cmd =
+  let run obs baseline current seed =
+    let read_or_die path =
+      match Smt_obs.Snapshot.read path with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "cannot read snapshot %s: %s\n" path e;
+        exit 2
+    in
+    let baseline = read_or_die baseline in
+    let current =
+      match current with
+      | Some path -> read_or_die path
+      | None -> Smt_core.Qor.collect ~seed ~tag:"current" ()
+    in
+    let deltas = Smt_obs.Snapshot.compare ~baseline ~current in
+    print_endline (Smt_obs.Snapshot.render deltas);
+    finish obs;
+    if Smt_obs.Snapshot.has_regressions deltas then exit 1
+  in
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline snapshot to compare against.")
+  in
+  let current_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:"Snapshot to compare (default: run the workloads fresh).")
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Compare a QoR snapshot against a baseline.  QoR fields and work counters must \
+          match exactly (wall-clock drift is advisory only); exits 1 when any \
+          regression is found.")
+    Term.(const run $ obs_term $ baseline_arg $ current_arg $ seed_arg)
+
 let list_cmd =
   let run () =
     List.iter (fun (name, _) -> print_endline name) Suite.all
@@ -411,6 +529,9 @@ let main =
   Cmd.group
     (Cmd.info "smt_flow" ~version:"1.0.0"
        ~doc:"Selective multi-threshold CMOS design flows (DATE 2005 reproduction)")
-    [ run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; check_cmd; list_cmd ]
+    [
+      run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; explain_cmd;
+      bench_snapshot_cmd; bench_compare_cmd; check_cmd; list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

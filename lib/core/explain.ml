@@ -1,0 +1,240 @@
+module Netlist = Smt_netlist.Netlist
+module Sta = Smt_sta.Sta
+module Leakage = Smt_power.Leakage
+module Cell = Smt_cell.Cell
+module Vth = Smt_cell.Vth
+module Text_table = Smt_util.Text_table
+module J = Smt_obs.Obs_json
+
+let vth_label (c : Cell.t) =
+  match c.Cell.style with
+  | Vth.Plain -> Vth.to_string c.Cell.vth
+  | style -> Printf.sprintf "%s %s" (Vth.to_string c.Cell.vth) (Vth.style_to_string style)
+
+let header (r : Flow.report) =
+  Printf.sprintf "%s (%s), clock %.1f ps: wns %.2f ps, standby %.2f nW" r.Flow.circuit
+    (Flow.technique_name r.Flow.technique)
+    r.Flow.clock_period r.Flow.wns r.Flow.standby_nw
+
+(* --- critical paths ---------------------------------------------------- *)
+
+let arc_who_what nl (a : Sta.path_arc) =
+  match a.Sta.arc_inst with
+  | Some iid ->
+    let c = Netlist.cell nl iid in
+    (Netlist.inst_name nl iid, c.Cell.name, vth_label c)
+  | None -> ("(launch)", "-", "-")
+
+let paths ?(k = 5) (r : Flow.report) (art : Flow.artifacts) =
+  let sta = art.Flow.art_sta in
+  let nl = Sta.netlist sta in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (header r);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (p : Sta.path) ->
+      let ep = p.Sta.path_endpoint in
+      Buffer.add_string b
+        (Printf.sprintf "\npath to %s: arrival %.2f, required %.2f, slack %.2f %s\n"
+           (Sta.endpoint_name sta ep) ep.Sta.arrival ep.Sta.required ep.Sta.slack
+           (if ep.Sta.slack >= 0.0 then "(MET)" else "(VIOLATED)"));
+      let body =
+        List.map
+          (fun (a : Sta.path_arc) ->
+            let who, what, vth = arc_who_what nl a in
+            [
+              who; what; vth;
+              Printf.sprintf "%.2f" a.Sta.arc_cell_delay;
+              Printf.sprintf "%.2f" a.Sta.arc_wire_delay;
+              Printf.sprintf "%.2f" a.Sta.arc_arrival;
+            ])
+          p.Sta.path_arcs
+        @ [
+            [
+              "(capture)"; "-"; "-"; "0.00";
+              Printf.sprintf "%.2f" p.Sta.path_capture_wire;
+              Printf.sprintf "%.2f" ep.Sta.arrival;
+            ];
+          ]
+      in
+      Buffer.add_string b
+        (Text_table.render
+           ~header:[ "Instance"; "Cell"; "Vth"; "Cell ps"; "Wire ps"; "Arrival ps" ]
+           body))
+    (Sta.worst_paths sta k);
+  Buffer.contents b
+
+let arc_json nl (a : Sta.path_arc) =
+  let who, what, vth = arc_who_what nl a in
+  J.obj
+    [
+      ("instance", J.str who);
+      ("cell", J.str what);
+      ("vth", J.str vth);
+      ("cell_ps", J.num a.Sta.arc_cell_delay);
+      ("wire_ps", J.num a.Sta.arc_wire_delay);
+      ("arrival_ps", J.num a.Sta.arc_arrival);
+      ("slew_ps", J.num a.Sta.arc_slew);
+    ]
+
+let paths_json ?(k = 5) (r : Flow.report) (art : Flow.artifacts) =
+  let sta = art.Flow.art_sta in
+  let nl = Sta.netlist sta in
+  let path_json (p : Sta.path) =
+    let ep = p.Sta.path_endpoint in
+    J.obj
+      [
+        ("endpoint", J.str (Sta.endpoint_name sta ep));
+        ("arrival_ps", J.num ep.Sta.arrival);
+        ("required_ps", J.num ep.Sta.required);
+        ("slack_ps", J.num ep.Sta.slack);
+        ("capture_wire_ps", J.num p.Sta.path_capture_wire);
+        ("arcs", J.arr (List.map (arc_json nl) p.Sta.path_arcs));
+      ]
+  in
+  J.obj
+    [
+      ("circuit", J.str r.Flow.circuit);
+      ("technique", J.str (Flow.technique_name r.Flow.technique));
+      ("clock_period_ps", J.num r.Flow.clock_period);
+      ("wns_ps", J.num r.Flow.wns);
+      ("paths", J.arr (List.map path_json (Sta.worst_paths sta k)));
+    ]
+
+(* --- leakage attribution ----------------------------------------------- *)
+
+let share_rows shares =
+  List.map
+    (fun (s : Leakage.class_share) ->
+      [
+        s.Leakage.share_label;
+        string_of_int s.Leakage.share_cells;
+        Printf.sprintf "%.2f" s.Leakage.share_nw;
+      ])
+    shares
+
+let waterfall (stages : Flow.stage list) =
+  let prev = ref 0.0 in
+  List.mapi
+    (fun i (s : Flow.stage) ->
+      let delta = if i = 0 then 0.0 else s.Flow.stage_standby_nw -. !prev in
+      prev := s.Flow.stage_standby_nw;
+      (s.Flow.stage_name, s.Flow.stage_standby_nw, delta))
+    stages
+
+let leakage (r : Flow.report) (art : Flow.artifacts) =
+  let nl = Sta.netlist art.Flow.art_sta in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (header r);
+  Buffer.add_string b "\n\nby threshold class:\n";
+  Buffer.add_string b
+    (Text_table.render ~header:[ "Class"; "Cells"; "nW" ] (share_rows (Leakage.by_vth nl)));
+  Buffer.add_string b "\nby cell function:\n";
+  Buffer.add_string b
+    (Text_table.render ~header:[ "Function"; "Cells"; "nW" ]
+       (share_rows (Leakage.by_function nl)));
+  if r.Flow.stages <> [] then begin
+    Buffer.add_string b "\nstage-by-stage waterfall:\n";
+    Buffer.add_string b
+      (Text_table.render ~header:[ "Stage"; "Standby nW"; "Delta nW" ]
+         (List.map
+            (fun (name, nw, delta) ->
+              [ name; Printf.sprintf "%.2f" nw; Printf.sprintf "%+.2f" delta ])
+            (waterfall r.Flow.stages)))
+  end;
+  Buffer.contents b
+
+let share_json (s : Leakage.class_share) =
+  J.obj
+    [
+      ("label", J.str s.Leakage.share_label);
+      ("cells", string_of_int s.Leakage.share_cells);
+      ("nw", J.num s.Leakage.share_nw);
+    ]
+
+let leakage_json (r : Flow.report) (art : Flow.artifacts) =
+  let nl = Sta.netlist art.Flow.art_sta in
+  J.obj
+    [
+      ("circuit", J.str r.Flow.circuit);
+      ("technique", J.str (Flow.technique_name r.Flow.technique));
+      ("standby_nw", J.num r.Flow.standby_nw);
+      ("by_vth", J.arr (List.map share_json (Leakage.by_vth nl)));
+      ("by_function", J.arr (List.map share_json (Leakage.by_function nl)));
+      ( "waterfall",
+        J.arr
+          (List.map
+             (fun (name, nw, delta) ->
+               J.obj
+                 [
+                   ("stage", J.str name);
+                   ("standby_nw", J.num nw);
+                   ("delta_nw", J.num delta);
+                 ])
+             (waterfall r.Flow.stages)) );
+    ]
+
+(* --- cluster attribution ----------------------------------------------- *)
+
+let cluster_attrs (art : Flow.artifacts) =
+  let nl = Sta.netlist art.Flow.art_sta in
+  Leakage.clusters ~cell_limit:art.Flow.art_params.Cluster.cell_limit
+    ~bounce_limit:art.Flow.art_params.Cluster.bounce_limit nl
+    ~bounce:art.Flow.art_bounce
+
+let clusters (r : Flow.report) (art : Flow.artifacts) =
+  let attrs = cluster_attrs art in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (header r);
+  Buffer.add_string b
+    (Printf.sprintf "\n%d clusters, total switch width %.2f um\n\n" (List.length attrs)
+       r.Flow.total_switch_width);
+  if attrs = [] then Buffer.add_string b "no sleep switches (nothing clustered)\n"
+  else
+    Buffer.add_string b
+      (Text_table.render
+         ~header:
+           [
+             "Switch"; "Cells"; "Occupancy"; "VGND um"; "Bounce V"; "Margin V";
+             "Members nW"; "Switch nW";
+           ]
+         (List.map
+            (fun (a : Leakage.cluster_attr) ->
+              [
+                a.Leakage.ca_switch_name;
+                string_of_int a.Leakage.ca_members;
+                Printf.sprintf "%d/%d" a.Leakage.ca_members a.Leakage.ca_cell_limit;
+                Printf.sprintf "%.2f" a.Leakage.ca_vgnd_um;
+                Printf.sprintf "%.4f" a.Leakage.ca_bounce_v;
+                Printf.sprintf "%.4f" (a.Leakage.ca_bounce_limit -. a.Leakage.ca_bounce_v);
+                Printf.sprintf "%.2f" a.Leakage.ca_members_nw;
+                Printf.sprintf "%.2f" a.Leakage.ca_switch_nw;
+              ])
+            attrs));
+  Buffer.contents b
+
+let clusters_json (r : Flow.report) (art : Flow.artifacts) =
+  let attrs = cluster_attrs art in
+  J.obj
+    [
+      ("circuit", J.str r.Flow.circuit);
+      ("technique", J.str (Flow.technique_name r.Flow.technique));
+      ("clusters", string_of_int (List.length attrs));
+      ("total_switch_width", J.num r.Flow.total_switch_width);
+      ( "attribution",
+        J.arr
+          (List.map
+             (fun (a : Leakage.cluster_attr) ->
+               J.obj
+                 [
+                   ("switch", J.str a.Leakage.ca_switch_name);
+                   ("members", string_of_int a.Leakage.ca_members);
+                   ("cell_limit", string_of_int a.Leakage.ca_cell_limit);
+                   ("vgnd_um", J.num a.Leakage.ca_vgnd_um);
+                   ("bounce_v", J.num a.Leakage.ca_bounce_v);
+                   ("bounce_limit_v", J.num a.Leakage.ca_bounce_limit);
+                   ("members_nw", J.num a.Leakage.ca_members_nw);
+                   ("switch_nw", J.num a.Leakage.ca_switch_nw);
+                 ])
+             attrs) );
+    ]

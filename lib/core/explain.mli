@@ -1,0 +1,33 @@
+(** QoR attribution reports — the "why" behind a flow report's headline
+    numbers.
+
+    Every renderer takes a {!Flow.report} together with the
+    {!Flow.artifacts} of the {b same} [Flow.run_with_artifacts] call: the
+    paths report reads the final post-route STA, so its worst slack equals
+    the report's [wns] exactly (re-running STA under a default
+    configuration would not match — bounce derates and clock latency
+    differ).
+
+    Each report exists as a text table ([paths], [leakage], [clusters])
+    and as a JSON document ([*_json]) parseable by
+    {!Smt_obs.Obs_json.parse}. *)
+
+val paths : ?k:int -> Flow.report -> Flow.artifacts -> string
+(** The [k] (default 5) worst setup paths: per-arc instance, cell,
+    Vth/style, cell and wire delay, arrival; capture hop last.  The first
+    path's slack is the report's [wns]. *)
+
+val paths_json : ?k:int -> Flow.report -> Flow.artifacts -> string
+
+val leakage : Flow.report -> Flow.artifacts -> string
+(** Standby leakage sliced by threshold class and by cell function, plus
+    the stage-by-stage waterfall over the flow's recorded stages. *)
+
+val leakage_json : Flow.report -> Flow.artifacts -> string
+
+val clusters : Flow.report -> Flow.artifacts -> string
+(** Per-sleep-switch attribution: occupancy against the EM cell limit,
+    VGND length, bounce margin, member and footer leakage — descending by
+    cluster leakage. *)
+
+val clusters_json : Flow.report -> Flow.artifacts -> string

@@ -183,7 +183,16 @@ let connect_embedded_mte nl mte =
       if Vth.style_equal c.Cell.style Vth.Mt_embedded && Netlist.pin_net nl iid "MTE" = None
       then Netlist.connect nl iid "MTE" mte)
 
-let run ?(options = default_options) technique nl =
+type artifacts = {
+  art_place : Placement.t;
+  art_cfg : Sta.config;
+  art_sta : Sta.t;
+  art_bounce : Bounce.cluster_report list;
+  art_clusters : Cluster.cluster list;
+  art_params : Cluster.params;
+}
+
+let run_with_artifacts ?(options = default_options) technique nl =
   Trace.with_span "Flow.run"
     ~args:[ ("technique", technique_name technique); ("circuit", Netlist.design_name nl) ]
   @@ fun () ->
@@ -484,7 +493,7 @@ let run ?(options = default_options) technique nl =
   snapshot ~cfg:final_cfg ~bounce:(Bounce.worst final_reports) "ECO & timing analysis";
   let stats = Nl_stats.compute nl in
   let leakage = Leakage.standby nl in
-  {
+  ( {
     technique;
     circuit = Netlist.design_name nl;
     clock_period;
@@ -520,7 +529,17 @@ let run ?(options = default_options) technique nl =
     check_violations = !check_violations;
     check_repairs = !check_repairs;
     degraded = !degraded;
-  }
+  },
+    {
+      art_place = place;
+      art_cfg = final_cfg;
+      art_sta = final_sta;
+      art_bounce = final_reports;
+      art_clusters = !clusters;
+      art_params = params;
+    } )
+
+let run ?options technique nl = fst (run_with_artifacts ?options technique nl)
 
 type outcome =
   | Completed of report

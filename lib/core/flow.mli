@@ -167,6 +167,25 @@ val minimal_period : ?slew_aware:bool -> wire:Smt_sta.Wire.t -> Smt_netlist.Netl
 val run : ?options:options -> technique -> Smt_netlist.Netlist.t -> report
 (** @raise Flow_error under {!Guard_strict} on Error-severity violations. *)
 
+(** The analysis context behind a report's headline numbers, for QoR
+    attribution ({!Explain}): the placement, the final post-route STA
+    configuration and analysis (whose {!Smt_sta.Sta.wns} is the report's
+    [wns]), the final bounce reports, the built clusters (improved flow
+    only), and the cluster parameters the run used. *)
+type artifacts = {
+  art_place : Smt_place.Placement.t;
+  art_cfg : Smt_sta.Sta.config;
+  art_sta : Smt_sta.Sta.t;
+  art_bounce : Smt_power.Bounce.cluster_report list;
+  art_clusters : Cluster.cluster list;
+  art_params : Cluster.params;
+}
+
+val run_with_artifacts :
+  ?options:options -> technique -> Smt_netlist.Netlist.t -> report * artifacts
+(** [run], also handing back the final-state artifacts instead of
+    discarding them.  [run] is [fst] of this. *)
+
 (** One technique's result in a [run_all] sweep: either its report or,
     when {!Flow_error} escaped [run], the stage and diagnostics of the
     failure — one broken technique no longer aborts the whole

@@ -1,0 +1,48 @@
+module Suite = Smt_circuits.Suite
+module Library = Smt_cell.Library
+module Metrics = Smt_obs.Metrics
+module Snapshot = Smt_obs.Snapshot
+
+let technique_slug = function
+  | Flow.Dual_vth -> "dual"
+  | Flow.Conventional_smt -> "conventional"
+  | Flow.Improved_smt -> "improved"
+
+let default_workloads =
+  List.concat_map
+    (fun (cname, gen) ->
+      List.map
+        (fun t -> (Printf.sprintf "%s/%s" cname (technique_slug t), gen, t))
+        [ Flow.Dual_vth; Flow.Conventional_smt; Flow.Improved_smt ])
+    [ ("circuit_a", Suite.circuit_a); ("circuit_b", Suite.circuit_b) ]
+
+let counter_delta ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = Option.value (List.assoc_opt name before) ~default:0 in
+      if v <> b then Some (name, v - b) else None)
+    after
+
+let qor_of (r : Flow.report) =
+  [
+    ("area_um2", r.Flow.area);
+    ("standby_nw", r.Flow.standby_nw);
+    ("wns_ps", r.Flow.wns);
+    ("clusters", float_of_int r.Flow.n_clusters);
+    ("switches", float_of_int r.Flow.n_switches);
+    ("holders", float_of_int r.Flow.n_holders);
+    ("mt_cells", float_of_int r.Flow.n_mt_cells);
+    ("total_switch_width", r.Flow.total_switch_width);
+  ]
+
+let run_workload ~options (name, gen, t) =
+  let before = Metrics.counters () in
+  let r = Flow.run ~options t (gen (Library.default ())) in
+  let after = Metrics.counters () in
+  Snapshot.workload ~name ~qor:(qor_of r)
+    ~counters:(counter_delta ~before ~after)
+    ~stage_ms:(List.map (fun (s : Flow.stage) -> (s.Flow.stage_name, s.Flow.stage_ms)) r.Flow.stages)
+
+let collect ?(seed = 1) ~tag () =
+  let options = { Flow.default_options with Flow.seed } in
+  Snapshot.make ~tag (List.map (run_workload ~options) default_workloads)

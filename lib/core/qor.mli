@@ -1,0 +1,35 @@
+(** QoR snapshot collection over the benchmark workloads.
+
+    A workload is one flow run on one circuit, named
+    ["<circuit>/<technique>"].  [collect] runs the standard six — circuits
+    A and B under each of the three techniques — and freezes, per
+    workload, the headline QoR fields of the report, the {!Smt_obs.Metrics}
+    counter deltas attributable to that run alone (registry diffed before
+    and after, so concurrent sections cannot contaminate each other), and
+    the per-stage wall-clock times.
+
+    The result is a {!Smt_obs.Snapshot.t} ready for [Snapshot.write] /
+    [Snapshot.compare] — the payload behind [smt_flow bench-snapshot] and
+    the committed [BENCH_*.json] baselines. *)
+
+val technique_slug : Flow.technique -> string
+(** ["dual"], ["conventional"], ["improved"] — the CLI spellings. *)
+
+val default_workloads :
+  (string * (Smt_cell.Library.t -> Smt_netlist.Netlist.t) * Flow.technique) list
+(** Circuits A and B under each technique, in that order. *)
+
+val counter_delta :
+  before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter difference, dropping counters that did not move.  Counters
+    only present in [before] (impossible with a monotonic registry) are
+    ignored. *)
+
+val qor_of : Flow.report -> (string * float) list
+(** The snapshot's QoR fields for one report: area, standby leakage, WNS,
+    cluster/switch/holder/MT-cell counts, total switch width. *)
+
+val collect : ?seed:int -> tag:string -> unit -> Smt_obs.Snapshot.t
+(** Run every default workload (seed 1 by default) and assemble the
+    snapshot.  Mutates the process-global metrics registry as a side
+    effect of running the flows. *)

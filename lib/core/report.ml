@@ -6,11 +6,6 @@ module Cell = Smt_cell.Cell
 module Func = Smt_cell.Func
 module Text_table = Smt_util.Text_table
 
-let endpoint_name nl (ep : Sta.endpoint) =
-  match ep.Sta.kind with
-  | Sta.Ff_data ff -> Printf.sprintf "%s/D" (Netlist.inst_name nl ff)
-  | Sta.Primary_output name -> Printf.sprintf "%s (output)" name
-
 let timing ?(paths = 3) sta =
   let nl = Sta.netlist sta in
   let b = Buffer.create 2048 in
@@ -19,40 +14,41 @@ let timing ?(paths = 3) sta =
        (Sta.wns sta) (Sta.tns sta) (Sta.worst_hold_slack sta)
        (List.length (Sta.endpoints sta)));
   List.iter
-    (fun ep ->
+    (fun (p : Sta.path) ->
+      let ep = p.Sta.path_endpoint in
       Buffer.add_string b
         (Printf.sprintf "\nendpoint %s: arrival %.1f, required %.1f, slack %.1f %s\n"
-           (endpoint_name nl ep) ep.Sta.arrival ep.Sta.required ep.Sta.slack
+           (Sta.endpoint_name sta ep) ep.Sta.arrival ep.Sta.required ep.Sta.slack
            (if ep.Sta.slack >= 0.0 then "(MET)" else "(VIOLATED)"));
-      let steps = Sta.path_to sta ep in
-      let rows =
+      let body =
         List.map
-          (fun (s : Sta.path_step) ->
+          (fun (a : Sta.path_arc) ->
             let who, what =
-              match s.Sta.step_inst with
+              match a.Sta.arc_inst with
               | Some iid -> (Netlist.inst_name nl iid, (Netlist.cell nl iid).Cell.name)
               | None -> ("(launch)", "-")
             in
-            (who, what, s.Sta.step_arrival))
-          steps
-      in
-      let prev = ref 0.0 in
-      let body =
-        List.map
-          (fun (who, what, at) ->
-            let incr_delay = at -. !prev in
-            prev := at;
             [
               who; what;
-              Printf.sprintf "%.1f" incr_delay;
-              Printf.sprintf "%.1f" at;
+              Printf.sprintf "%.1f" a.Sta.arc_cell_delay;
+              Printf.sprintf "%.1f" a.Sta.arc_wire_delay;
+              Printf.sprintf "%.1f" a.Sta.arc_arrival;
             ])
-          rows
+          p.Sta.path_arcs
+        @ [
+            [
+              "(capture)"; "-"; "0.0";
+              Printf.sprintf "%.1f" p.Sta.path_capture_wire;
+              Printf.sprintf "%.1f" ep.Sta.arrival;
+            ];
+          ]
       in
       Buffer.add_string b
-        (Text_table.render ~header:[ "Instance"; "Cell"; "Incr ps"; "Arrival ps" ] body);
+        (Text_table.render
+           ~header:[ "Instance"; "Cell"; "Cell ps"; "Wire ps"; "Arrival ps" ]
+           body);
       Buffer.add_char b '\n')
-    (Sta.worst_endpoints sta paths);
+    (Sta.worst_paths sta paths);
   Buffer.contents b
 
 let power nl =

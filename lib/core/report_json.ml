@@ -1,26 +1,13 @@
 module Leakage = Smt_power.Leakage
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let str s = Printf.sprintf "\"%s\"" (escape s)
-let num f = if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
-let boolean b = if b then "true" else "false"
-
-let obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
-
-let arr items = "[" ^ String.concat "," items ^ "]"
+(* All JSON fragments come from the shared emitter, which also maps
+   infinities to null — a [wns] of +inf (endpoint-free netlist) used to
+   produce invalid JSON here. *)
+let str = Smt_obs.Obs_json.str
+let num = Smt_obs.Obs_json.num
+let boolean = Smt_obs.Obs_json.boolean
+let obj = Smt_obs.Obs_json.obj
+let arr = Smt_obs.Obs_json.arr
 
 let leakage_json (l : Leakage.breakdown) =
   obj

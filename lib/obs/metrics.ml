@@ -69,6 +69,12 @@ let fold f acc =
   Hashtbl.fold (fun _ inst acc -> f acc inst) registry acc
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let counters () =
+  fold
+    (fun acc inst ->
+      match inst with Counter c -> (c.c_name, c.count) :: acc | Gauge _ | Histogram _ -> acc)
+    []
+
 let snapshot () =
   fold
     (fun acc inst ->

@@ -36,6 +36,12 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val counters : unit -> (string * int) list
+(** Current value of every registered counter, sorted by name.  Counters
+    are the deterministic "work done" instruments (arrival evaluations,
+    placement iterations, ...), which is what QoR snapshots diff per
+    workload — gauges and histograms carry wall-clock and are excluded. *)
+
 val snapshot : unit -> (string * float) list
 (** Current value of every instrument, sorted by name.  Histograms
     contribute [name.count] and [name.sum]. *)

@@ -1,5 +1,5 @@
-(* Minimal JSON emission helpers shared by Trace and Metrics.  Kept private
-   to the library in spirit: Report_json owns report serialization. *)
+(* Minimal JSON emission and parsing shared by Trace, Metrics, and
+   Snapshot.  Report_json builds on the same emitters for flow reports. *)
 
 let escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -18,6 +18,17 @@ let str s = Printf.sprintf "\"%s\"" (escape s)
 
 let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
+let num_exact f =
+  if Float.is_finite f then
+    (* %.17g round-trips every double, so snapshot files compare exactly *)
+    let s = Printf.sprintf "%.17g" f in
+    (* prefer the shortest representation that still round-trips *)
+    let short = Printf.sprintf "%.15g" f in
+    if float_of_string short = f then short else s
+  else "null"
+
+let boolean b = if b then "true" else "false"
+
 let obj fields =
   "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
 
@@ -26,3 +37,170 @@ let arr items = "[" ^ String.concat "," items ^ "]"
 let to_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_exn (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          Buffer.contents b
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "dangling escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some code ->
+              pos := !pos + 4;
+              if code < 128 then Buffer.add_char b (Char.chr code)
+                (* non-ASCII escapes are lossy; the library never emits them *)
+              else Buffer.add_char b '?'
+            | None -> fail "bad \\u escape")
+          | _ -> fail "unknown escape");
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> parse_obj ()
+    | Some '[' -> parse_arr ()
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> lit "true" (Bool true)
+    | Some 'f' -> lit "false" (Bool false)
+    | Some 'n' -> lit "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  and lit word v =
+    let k = String.length word in
+    if !pos + k <= n && String.sub s !pos k = word then begin
+      pos := !pos + k;
+      v
+    end
+    else fail ("expected " ^ word)
+  and number () =
+    let start = !pos in
+    let is_num c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      incr pos;
+      Arr []
+    end
+    else begin
+      let items = ref [ value () ] in
+      skip_ws ();
+      while peek () = Some ',' do
+        incr pos;
+        items := value () :: !items;
+        skip_ws ()
+      done;
+      expect ']';
+      Arr (List.rev !items)
+    end
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      incr pos;
+      Obj []
+    end
+    else begin
+      let parse_field () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        (k, v)
+      in
+      let fields = ref [ parse_field () ] in
+      skip_ws ();
+      while peek () = Some ',' do
+        incr pos;
+        fields := parse_field () :: !fields;
+        skip_ws ()
+      done;
+      expect '}';
+      Obj (List.rev !fields)
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse s = match parse_exn s with v -> Ok v | exception Parse_error e -> Error e
+
+let member name = function Obj fields -> List.assoc_opt name fields | _ -> None
+
+let to_num = function Num f -> Some f | Null -> Some Float.nan | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse contents

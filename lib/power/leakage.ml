@@ -88,6 +88,74 @@ let at_corner corner nl =
   let tech = Smt_cell.Library.tech (Netlist.lib nl) in
   scale (standby nl) (Smt_cell.Corner.leakage_factor tech corner)
 
+(* --- attribution: who exactly holds the residual leakage ------------- *)
+
+type class_share = { share_label : string; share_cells : int; share_nw : float }
+
+let shares_of_table table =
+  Hashtbl.fold (fun label (cells, nw) acc -> { share_label = label; share_cells = cells; share_nw = nw } :: acc)
+    table []
+  |> List.sort (fun a b -> compare (b.share_nw, b.share_label) (a.share_nw, a.share_label))
+
+let group_by nl label_of =
+  let table = Hashtbl.create 31 in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      let label = label_of iid c in
+      let cells, nw =
+        match Hashtbl.find_opt table label with Some x -> x | None -> (0, 0.0)
+      in
+      Hashtbl.replace table label (cells + 1, nw +. c.Cell.leak_standby));
+  shares_of_table table
+
+let by_vth nl =
+  group_by nl (fun _ (c : Cell.t) ->
+      match c.Cell.style with
+      | Vth.Plain -> Vth.to_string c.Cell.vth
+      | style -> Printf.sprintf "%s %s" (Vth.to_string c.Cell.vth) (Vth.style_to_string style))
+
+let by_function nl = group_by nl (fun _ (c : Cell.t) -> Func.to_string c.Cell.kind)
+
+type cluster_attr = {
+  ca_switch : Netlist.inst_id;
+  ca_switch_name : string;
+  ca_members : int;
+  ca_cell_limit : int;
+  ca_vgnd_um : float;
+  ca_bounce_v : float;
+  ca_bounce_limit : float;
+  ca_members_nw : float;
+  ca_switch_nw : float;
+}
+
+let clusters ?cell_limit ?bounce_limit nl ~bounce =
+  let tech = Smt_cell.Library.tech (Netlist.lib nl) in
+  let cell_limit =
+    match cell_limit with Some l -> l | None -> tech.Smt_cell.Tech.em_cell_limit
+  in
+  let bounce_limit =
+    match bounce_limit with Some l -> l | None -> tech.Smt_cell.Tech.bounce_limit
+  in
+  List.map
+    (fun (r : Bounce.cluster_report) ->
+      let members = Netlist.switch_members nl r.Bounce.switch in
+      let members_nw =
+        List.fold_left (fun acc m -> acc +. (Netlist.cell nl m).Cell.leak_standby) 0.0 members
+      in
+      {
+        ca_switch = r.Bounce.switch;
+        ca_switch_name = Netlist.inst_name nl r.Bounce.switch;
+        ca_members = r.Bounce.members;
+        ca_cell_limit = cell_limit;
+        ca_vgnd_um = r.Bounce.wire_length;
+        ca_bounce_v = r.Bounce.bounce;
+        ca_bounce_limit = bounce_limit;
+        ca_members_nw = members_nw;
+        ca_switch_nw = (Netlist.cell nl r.Bounce.switch).Cell.leak_standby;
+      })
+    bounce
+  |> List.sort (fun a b -> compare (b.ca_members_nw +. b.ca_switch_nw) (a.ca_members_nw +. a.ca_switch_nw))
+
 let pp fmt b =
   Format.fprintf fmt
     "standby %.1f nW (lv=%.1f hv=%.1f seq=%.1f mt=%.1f sw=%.1f emb=%.1f hold=%.1f infra=%.1f)"

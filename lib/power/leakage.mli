@@ -29,4 +29,53 @@ val at_corner : Smt_cell.Corner.t -> Smt_netlist.Netlist.t -> breakdown
 val scale : breakdown -> float -> breakdown
 (** Multiply every component (corner scaling helper). *)
 
+(** {1 Attribution}
+
+    Where the paper's residual 9–15% standby leakage actually sits: the
+    same total as {!standby}, sliced along the axes a designer acts on
+    (swap a Vth class, restructure a function, resize or split a
+    cluster). *)
+
+type class_share = {
+  share_label : string;
+  share_cells : int;  (** live instances in the class *)
+  share_nw : float;
+}
+
+val by_vth : Smt_netlist.Netlist.t -> class_share list
+(** Standby leakage grouped by threshold class — [low-vth], [high-vth],
+    and the MT styles as [low-vth mt-vgnd] etc. — descending by nW.
+    Shares sum to {!standby}'s total. *)
+
+val by_function : Smt_netlist.Netlist.t -> class_share list
+(** Standby leakage grouped by cell function ([nand2], [dff], ...),
+    descending by nW.  Shares sum to {!standby}'s total. *)
+
+(** Per-cluster attribution: one record per sleep switch, joining the
+    bounce analysis (current, VGND length, bounce vs limit) with the
+    standby leakage its members and footer still draw, plus the occupancy
+    against the electromigration [cell_limit]. *)
+type cluster_attr = {
+  ca_switch : Smt_netlist.Netlist.inst_id;
+  ca_switch_name : string;
+  ca_members : int;
+  ca_cell_limit : int;  (** EM cap the clustering ran under *)
+  ca_vgnd_um : float;
+  ca_bounce_v : float;
+  ca_bounce_limit : float;  (** [ca_bounce_limit -. ca_bounce_v] is the margin *)
+  ca_members_nw : float;  (** residual leakage of the member MT-cells *)
+  ca_switch_nw : float;  (** the footer's own leakage *)
+}
+
+val clusters :
+  ?cell_limit:int ->
+  ?bounce_limit:float ->
+  Smt_netlist.Netlist.t ->
+  bounce:Bounce.cluster_report list ->
+  cluster_attr list
+(** One attribution per report in [bounce] (see {!Bounce.analyze}),
+    descending by cluster leakage.  Defaults for the limits come from the
+    library's technology; pass the flow's actual {i cluster_params} values
+    when they were overridden. *)
+
 val pp : Format.formatter -> breakdown -> unit

@@ -400,3 +400,59 @@ let critical_path t =
 let worst_endpoints t k =
   let sorted = List.sort (fun a b -> compare a.slack b.slack) t.eps in
   List.filteri (fun i _ -> i < k) sorted
+
+(* --- structured critical-path reports ------------------------------- *)
+
+type path_arc = {
+  arc_inst : Netlist.inst_id option;
+  arc_net : Netlist.net_id;
+  arc_cell_delay : float;
+  arc_wire_delay : float;
+  arc_arrival : float;
+  arc_slew : float;
+}
+
+type path = {
+  path_endpoint : endpoint;
+  path_arcs : path_arc list;
+  path_capture_wire : float;
+}
+
+let endpoint_name t ep =
+  match ep.kind with
+  | Ff_data ff -> Netlist.inst_name t.nl ff ^ "/D"
+  | Primary_output name -> name
+
+let path_report t ep =
+  let steps = path_to t ep in
+  let arcs, _ =
+    List.fold_left
+      (fun (acc, prev_arrival) (s : path_step) ->
+        let cell_delay =
+          match s.step_inst with Some iid -> t.inst_delay.(iid) | None -> 0.0
+        in
+        (* The launch arc's residual over its cell delay is clock latency
+           (flip-flop sources) or the configured input arrival; later arcs'
+           residual is the wire delay of the hop that fed the gate. *)
+        let wire_delay = s.step_arrival -. prev_arrival -. cell_delay in
+        let arc =
+          {
+            arc_inst = s.step_inst;
+            arc_net = s.step_net;
+            arc_cell_delay = cell_delay;
+            arc_wire_delay = wire_delay;
+            arc_arrival = s.step_arrival;
+            arc_slew = slew t s.step_net;
+          }
+        in
+        (arc :: acc, s.step_arrival))
+      ([], 0.0) steps
+  in
+  let last_arrival = match arcs with a :: _ -> a.arc_arrival | [] -> 0.0 in
+  {
+    path_endpoint = ep;
+    path_arcs = List.rev arcs;
+    path_capture_wire = ep.arrival -. last_arrival;
+  }
+
+let worst_paths t k = List.map (path_report t) (worst_endpoints t k)

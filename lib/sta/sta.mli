@@ -98,6 +98,44 @@ val path_to : t -> endpoint -> path_step list
 val worst_endpoints : t -> int -> endpoint list
 (** The [k] smallest-slack endpoints, ascending by slack. *)
 
+(** One hop of a critical path: the gate driving [arc_net] (or the launch
+    point when [arc_inst] is [None]) together with how its arrival was
+    built up.  Delay attribution: [arc_cell_delay] is the gate delay the
+    analysis used for the driving instance (bounce derate and slew effects
+    included); [arc_wire_delay] is the residual over the previous arc's
+    arrival — the interconnect delay of the hop into the gate, and, on the
+    launch arc, the clock latency (flip-flop source) or configured input
+    arrival. *)
+type path_arc = {
+  arc_inst : Smt_netlist.Netlist.inst_id option;
+  arc_net : Smt_netlist.Netlist.net_id;
+  arc_cell_delay : float;
+  arc_wire_delay : float;
+  arc_arrival : float;  (** worst arrival at the net's driver output *)
+  arc_slew : float;  (** output slew at the net's driver *)
+}
+
+(** A worst setup path as a structured record: the arcs launch-to-capture
+    plus the final hop into the endpoint pin.  Invariant:
+    [sum (cell + wire) over arcs + capture_wire = endpoint.arrival]. *)
+type path = {
+  path_endpoint : endpoint;
+  path_arcs : path_arc list;  (** launch first *)
+  path_capture_wire : float;  (** wire delay of the last hop into the endpoint pin *)
+}
+
+val worst_paths : t -> int -> path list
+(** Structured reports of the [k] worst setup paths, ascending by slack —
+    the first path's slack is {!wns}.  The "why" behind every WNS number
+    the flow prints. *)
+
+val path_report : t -> endpoint -> path
+(** The structured worst path into one endpoint. *)
+
+val endpoint_name : t -> endpoint -> string
+(** [inst/D] for a flip-flop data pin, the port name for a primary
+    output. *)
+
 val update : t -> changed:Smt_netlist.Netlist.inst_id list -> t
 (** Incremental re-analysis after cell swaps that do not alter connectivity
     (Vth/MT restyling, drive resizing): arrivals are recomputed only inside

@@ -9,6 +9,7 @@
 module Trace = Smt_obs.Trace
 module Metrics = Smt_obs.Metrics
 module Log = Smt_obs.Log
+module Obs_json = Smt_obs.Obs_json
 
 (* ------------------------------------------------------------------ *)
 (* A minimal JSON parser, for validating emitted documents             *)
@@ -261,6 +262,119 @@ let test_chrome_trace_json_wellformed () =
       events
   | _ -> Alcotest.fail "traceEvents array missing"
 
+(* The same export, this time validated through the library's own parser
+   (Obs_json) instead of the local one, with the structural property
+   Perfetto renders from: parent spans contain their children, siblings
+   run one after the other. *)
+let test_trace_export_nesting_consistent () =
+  Trace.enable ();
+  Trace.clear ();
+  Trace.with_span "outer" (fun () ->
+      spin ();
+      Trace.with_span "mid" (fun () ->
+          spin ();
+          Trace.with_span "inner" spin);
+      Trace.with_span "sibling" spin);
+  Trace.disable ();
+  let doc = Obs_json.parse_exn (Trace.to_json ()) in
+  let events =
+    match Obs_json.member "traceEvents" doc with
+    | Some (Obs_json.Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check int) "all four spans exported" 4 (List.length events);
+  let str name ev =
+    match Option.bind (Obs_json.member name ev) Obs_json.to_str with
+    | Some s -> s
+    | None -> Alcotest.failf "missing string field %S" name
+  in
+  let num name ev =
+    match Option.bind (Obs_json.member name ev) Obs_json.to_num with
+    | Some f -> f
+    | None -> Alcotest.failf "missing numeric field %S" name
+  in
+  List.iter
+    (fun ev ->
+      Alcotest.(check string) "complete X event" "X" (str "ph" ev);
+      Alcotest.(check bool) "timestamp non-negative" true (num "ts" ev >= 0.0);
+      Alcotest.(check bool) "duration non-negative" true (num "dur" ev >= 0.0))
+    events;
+  let find name =
+    match List.find_opt (fun ev -> str "name" ev = name) events with
+    | Some ev -> ev
+    | None -> Alcotest.failf "span %S not exported" name
+  in
+  let eps = 0.5 in
+  let starts ev = num "ts" ev in
+  let ends ev = num "ts" ev +. num "dur" ev in
+  let contains outer inner =
+    starts outer <= starts inner +. eps && ends inner <= ends outer +. eps
+  in
+  let outer = find "outer" and mid = find "mid" in
+  let inner = find "inner" and sibling = find "sibling" in
+  Alcotest.(check bool) "outer contains mid" true (contains outer mid);
+  Alcotest.(check bool) "mid contains inner" true (contains mid inner);
+  Alcotest.(check bool) "outer contains sibling" true (contains outer sibling);
+  Alcotest.(check bool) "siblings do not overlap" true (ends mid <= starts sibling +. eps)
+
+(* ------------------------------------------------------------------ *)
+(* Obs_json                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_obs_json_roundtrip () =
+  let doc =
+    Obs_json.obj
+      [
+        ("s", Obs_json.str "a\"b\\c\nd\tcontrol:\001");
+        ("n", Obs_json.num_exact 0.1);
+        ("inf", Obs_json.num infinity);
+        ("t", Obs_json.boolean true);
+        ("l", Obs_json.arr [ Obs_json.num 1.5; Obs_json.str "x"; "null" ]);
+        ("o", Obs_json.obj []);
+      ]
+  in
+  match Obs_json.parse doc with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check (option string)) "escaped string round-trips"
+      (Some "a\"b\\c\nd\tcontrol:\001")
+      (Option.bind (Obs_json.member "s" v) Obs_json.to_str);
+    (match Option.bind (Obs_json.member "n" v) Obs_json.to_num with
+    | Some f -> Alcotest.(check bool) "num_exact round-trips exactly" true (f = 0.1)
+    | None -> Alcotest.fail "n missing");
+    (match Obs_json.member "inf" v with
+    | Some Obs_json.Null -> ()
+    | _ -> Alcotest.fail "non-finite emitted as null");
+    (match Obs_json.member "t" v with
+    | Some (Obs_json.Bool true) -> ()
+    | _ -> Alcotest.fail "boolean");
+    (match Obs_json.member "l" v with
+    | Some (Obs_json.Arr [ Obs_json.Num _; Obs_json.Str "x"; Obs_json.Null ]) -> ()
+    | _ -> Alcotest.fail "array shape");
+    match Obs_json.member "o" v with
+    | Some (Obs_json.Obj []) -> ()
+    | _ -> Alcotest.fail "empty object"
+
+let test_obs_json_num_exact () =
+  List.iter
+    (fun f ->
+      match Obs_json.parse (Obs_json.num_exact f) with
+      | Ok (Obs_json.Num g) ->
+        Alcotest.(check bool) (Printf.sprintf "%h round-trips" f) true (f = g)
+      | _ -> Alcotest.failf "%h did not parse back as a number" f)
+    [ 0.1; 1.0 /. 3.0; 1e300; -1.5e-300; 12345.678901234567; 0.0; -42.0 ]
+
+let test_obs_json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Obs_json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,2] trailing"; "{\"a\":}"; "nul"; "\"unterminated"; "{'a':1}" ];
+  match Obs_json.parse_exn "{" with
+  | exception Obs_json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "parse_exn did not raise"
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -377,6 +491,14 @@ let () =
           Alcotest.test_case "clock monotone" `Quick test_now_us_monotone;
           Alcotest.test_case "chrome trace JSON well-formed" `Quick
             test_chrome_trace_json_wellformed;
+          Alcotest.test_case "exported nesting consistent" `Quick
+            test_trace_export_nesting_consistent;
+        ] );
+      ( "obs-json",
+        [
+          Alcotest.test_case "emit/parse round-trip" `Quick test_obs_json_roundtrip;
+          Alcotest.test_case "num_exact round-trips" `Quick test_obs_json_num_exact;
+          Alcotest.test_case "rejects malformed input" `Quick test_obs_json_rejects_malformed;
         ] );
       ( "metrics",
         [

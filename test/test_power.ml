@@ -268,6 +268,74 @@ let test_sleep_vector_ignores_gated_cells () =
   let l1 = Sleep_vector.standby_with_vector nl ~vector:[ ("a", Logic.T) ] in
   Alcotest.(check (float 1e-9)) "gated cell state-independent" l0 l1
 
+(* --- attribution --- *)
+
+let share_total shares =
+  List.fold_left (fun acc (s : Leakage.class_share) -> acc +. s.Leakage.share_nw) 0.0 shares
+
+let share_cells shares =
+  List.fold_left (fun acc (s : Leakage.class_share) -> acc + s.Leakage.share_cells) 0 shares
+
+let test_attribution_sums () =
+  let nl = Generators.multiplier ~name:"attr" ~bits:5 lib in
+  (* mix in some non-plain styles so the grouping has work to do *)
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      if c.Cell.kind = Func.And2 then
+        Netlist.replace_cell nl iid (mtv Func.And2)
+      else if c.Cell.kind = Func.Or2 then Netlist.replace_cell nl iid (hv Func.Or2));
+  let total = (Leakage.standby nl).Leakage.total in
+  let insts = ref 0 in
+  Netlist.iter_insts nl (fun _ -> incr insts);
+  List.iter
+    (fun (label, shares) ->
+      Alcotest.(check (float 1e-6)) (label ^ " shares sum to standby total") total
+        (share_total shares);
+      Alcotest.(check int) (label ^ " shares cover every instance") !insts
+        (share_cells shares);
+      let nws = List.map (fun (s : Leakage.class_share) -> s.Leakage.share_nw) shares in
+      Alcotest.(check (list (float 1e-9)))
+        (label ^ " descending by nW")
+        (List.sort (fun a b -> compare b a) nws)
+        nws)
+    [ ("by_vth", Leakage.by_vth nl); ("by_function", Leakage.by_function nl) ];
+  (* the restyled cells appear under their own class label *)
+  let labels = List.map (fun (s : Leakage.class_share) -> s.Leakage.share_label) (Leakage.by_vth nl) in
+  Alcotest.(check bool) "mt style labelled" true (List.mem "low-vth mt-vgnd" labels)
+
+let test_cluster_attribution () =
+  let nl, mte, members = mt_fixture 6 in
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:4.0) [ ("MTE", mte) ] in
+  List.iter (fun m -> Netlist.set_vgnd_switch nl m (Some sw)) members;
+  let reports = Bounce.analyze nl ~wire_length_of:(fun _ -> 40.0) in
+  match Leakage.clusters ~cell_limit:10 ~bounce_limit:0.123 nl ~bounce:reports with
+  | [ a ] ->
+    Alcotest.(check string) "switch name" "sw0" a.Leakage.ca_switch_name;
+    Alcotest.(check int) "members" 6 a.Leakage.ca_members;
+    Alcotest.(check int) "cell limit passed through" 10 a.Leakage.ca_cell_limit;
+    Alcotest.(check (float 1e-9)) "bounce limit passed through" 0.123 a.Leakage.ca_bounce_limit;
+    Alcotest.(check (float 1e-9)) "vgnd length from the bounce report" 40.0 a.Leakage.ca_vgnd_um;
+    let members_nw =
+      List.fold_left (fun acc m -> acc +. (Netlist.cell nl m).Cell.leak_standby) 0.0 members
+    in
+    Alcotest.(check (float 1e-9)) "member leakage summed" members_nw a.Leakage.ca_members_nw;
+    Alcotest.(check (float 1e-9)) "switch leakage is the footer's"
+      (Netlist.cell nl sw).Cell.leak_standby a.Leakage.ca_switch_nw
+  | attrs -> Alcotest.failf "expected one cluster attribution, got %d" (List.length attrs)
+
+let test_cluster_attribution_default_limits () =
+  let nl, mte, members = mt_fixture 4 in
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:4.0) [ ("MTE", mte) ] in
+  List.iter (fun m -> Netlist.set_vgnd_switch nl m (Some sw)) members;
+  let reports = Bounce.analyze nl ~wire_length_of:(fun _ -> 0.0) in
+  match Leakage.clusters nl ~bounce:reports with
+  | [ a ] ->
+    Alcotest.(check int) "defaults to the tech EM cap" tech.Tech.em_cell_limit
+      a.Leakage.ca_cell_limit;
+    Alcotest.(check (float 1e-9)) "defaults to the tech bounce limit" tech.Tech.bounce_limit
+      a.Leakage.ca_bounce_limit
+  | attrs -> Alcotest.failf "expected one cluster attribution, got %d" (List.length attrs)
+
 (* --- EM --- *)
 
 let test_em_checks () =
@@ -321,6 +389,13 @@ let () =
           Alcotest.test_case "vector changes leakage" `Quick test_vector_changes_leakage;
           Alcotest.test_case "search" `Quick test_sleep_vector_search;
           Alcotest.test_case "gated cells immune" `Quick test_sleep_vector_ignores_gated_cells;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "class shares sum" `Quick test_attribution_sums;
+          Alcotest.test_case "cluster attribution" `Quick test_cluster_attribution;
+          Alcotest.test_case "cluster default limits" `Quick
+            test_cluster_attribution_default_limits;
         ] );
       ("em", [ Alcotest.test_case "checks" `Quick test_em_checks ]);
     ]

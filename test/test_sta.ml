@@ -226,6 +226,76 @@ let test_worst_endpoints_sorted () =
     List.iter (fun ep -> Alcotest.(check bool) "global min" true (ep.Sta.slack >= w.Sta.slack)) eps
   | [], _ -> Alcotest.fail "no endpoints")
 
+let test_worst_paths_structure () =
+  let nl = Generators.ripple_adder ~registered:true ~name:"rp" ~bits:6 lib in
+  let sta =
+    Sta.analyze
+      {
+        (Sta.config ~clock_period:400.0 ()) with
+        Sta.wire = Wire.lumped ~cap_per_fanout:1.5 ~delay_per_fanout:3.0;
+      }
+      nl
+  in
+  let k = 4 in
+  let paths = Sta.worst_paths sta k in
+  Alcotest.(check int) "asked k paths" k (List.length paths);
+  (match paths with
+  | first :: _ ->
+    Alcotest.(check (float 1e-9)) "first path slack is the wns" (Sta.wns sta)
+      first.Sta.path_endpoint.Sta.slack
+  | [] -> Alcotest.fail "no paths");
+  List.iter
+    (fun (p : Sta.path) ->
+      let ep = p.Sta.path_endpoint in
+      Alcotest.(check bool) "path non-empty" true (p.Sta.path_arcs <> []);
+      (* the structured arcs must reproduce the endpoint arrival exactly:
+         sum of cell+wire delays plus the capture hop *)
+      let total =
+        List.fold_left
+          (fun acc (a : Sta.path_arc) -> acc +. a.Sta.arc_cell_delay +. a.Sta.arc_wire_delay)
+          0.0 p.Sta.path_arcs
+        +. p.Sta.path_capture_wire
+      in
+      Alcotest.(check (float 1e-6)) "arc delays sum to the arrival" ep.Sta.arrival total;
+      (* per-arc consistency with the raw analysis *)
+      List.iter
+        (fun (a : Sta.path_arc) ->
+          Alcotest.(check (float 1e-9)) "arc arrival matches analysis"
+            (Sta.arrival sta a.Sta.arc_net) a.Sta.arc_arrival;
+          (match a.Sta.arc_inst with
+          | Some iid ->
+            Alcotest.(check (float 1e-9)) "arc cell delay is the used delay"
+              (Sta.used_delay sta iid) a.Sta.arc_cell_delay
+          | None -> Alcotest.(check (float 1e-9)) "launch has no cell delay" 0.0 a.Sta.arc_cell_delay);
+          Alcotest.(check bool) "delays finite" true
+            (Float.is_finite a.Sta.arc_cell_delay && Float.is_finite a.Sta.arc_wire_delay))
+        p.Sta.path_arcs;
+      (* arrivals ascend along the path *)
+      ignore
+        (List.fold_left
+           (fun prev (a : Sta.path_arc) ->
+             Alcotest.(check bool) "arrivals non-decreasing" true (a.Sta.arc_arrival >= prev -. 1e-9);
+             a.Sta.arc_arrival)
+           neg_infinity p.Sta.path_arcs))
+    paths;
+  (* ascending by slack, consistent with worst_endpoints *)
+  let slacks = List.map (fun p -> p.Sta.path_endpoint.Sta.slack) paths in
+  Alcotest.(check (list (float 1e-9))) "paths ascend by slack" (List.sort compare slacks) slacks
+
+let test_endpoint_name_forms () =
+  let nl = Generators.ripple_adder ~registered:true ~name:"rn" ~bits:4 lib in
+  let sta = Sta.analyze (Sta.config ~clock_period:400.0 ()) nl in
+  List.iter
+    (fun ep ->
+      let name = Sta.endpoint_name sta ep in
+      Alcotest.(check bool) "non-empty" true (name <> "");
+      match ep.Sta.kind with
+      | Sta.Ff_data _ ->
+        Alcotest.(check bool) "ff endpoint named inst/D" true
+          (String.length name > 2 && String.sub name (String.length name - 2) 2 = "/D")
+      | Sta.Primary_output port -> Alcotest.(check string) "po endpoint is the port" port name)
+    (Sta.endpoints sta)
+
 let test_inst_slack () =
   let nl = single_inv () in
   let g = Option.get (Netlist.find_inst nl "inv_1") in
@@ -325,6 +395,8 @@ let () =
       ( "queries",
         [
           Alcotest.test_case "worst endpoints sorted" `Quick test_worst_endpoints_sorted;
+          Alcotest.test_case "worst paths structure" `Quick test_worst_paths_structure;
+          Alcotest.test_case "endpoint names" `Quick test_endpoint_name_forms;
           Alcotest.test_case "inst slack" `Quick test_inst_slack;
           Alcotest.test_case "used delay" `Quick test_used_delay;
         ] );

@@ -98,7 +98,8 @@ let test_timing_report () =
   let text = Report.timing ~paths:2 sta in
   Alcotest.(check bool) "mentions wns" true (contains text "wns");
   Alcotest.(check bool) "has endpoint section" true (contains text "endpoint");
-  Alcotest.(check bool) "has path table" true (contains text "Incr ps");
+  Alcotest.(check bool) "has path table" true
+    (contains text "Cell ps" && contains text "Wire ps");
   Alcotest.(check bool) "met at 5ns" true (contains text "(MET)")
 
 let test_timing_report_violated () =
