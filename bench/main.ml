@@ -8,7 +8,12 @@
      FIG-1     MT-cell characterization (delay / leakage / area by flavour)
      FIG-2/3   conventional vs improved transform on the same logic
      FIG-4     the improved flow stage by stage
-     ABLATION  the design-choice sweeps DESIGN.md calls out *)
+     ABLATION  the design-choice sweeps DESIGN.md calls out
+
+   Sections are independent, so they run through the deterministic domain
+   pool (SMT_JOBS controls the width): each section renders into its own
+   buffer and the buffers are printed in input order, so stdout is the
+   same at any job count. *)
 
 module Netlist = Smt_netlist.Netlist
 module Clone = Smt_netlist.Clone
@@ -30,45 +35,55 @@ module Suite = Smt_circuits.Suite
 module Generators = Smt_circuits.Generators
 module Text_table = Smt_util.Text_table
 module Metrics = Smt_obs.Metrics
+module Par = Smt_obs.Par
+module Pool = Smt_util.Pool
 
 let lib = Library.default ()
 let tech = Library.tech lib
 
-let section name =
-  Printf.printf "\n================ %s ================\n\n" name
+let bpf = Printf.bprintf
+
+let bline buf s =
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\n'
+
+let bnl buf = Buffer.add_char buf '\n'
+
+let section buf name =
+  bpf buf "\n================ %s ================\n\n" name
 
 (* ------------------------------------------------------------------ *)
 (* TABLE 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
-  section "TABLE-1: Comparison of three techniques";
+let table1 buf =
+  section buf "TABLE-1: Comparison of three techniques";
   let rows =
     [
       Compare.table1_row (fun () -> Suite.circuit_a lib);
       Compare.table1_row (fun () -> Suite.circuit_b lib);
     ]
   in
-  print_endline (Compare.render rows);
-  print_newline ();
-  Printf.printf "paper reports:   A: 100%% / 164.84%% / 133.18%% area, 100%% / 14.58%% / 9.42%% leakage\n";
-  Printf.printf "                 B: 100%% / 142.22%% / 115.65%% area, 100%% / 19.42%% / 12.21%% leakage\n\n";
+  bline buf (Compare.render rows);
+  bnl buf;
+  bpf buf "paper reports:   A: 100%% / 164.84%% / 133.18%% area, 100%% / 14.58%% / 9.42%% leakage\n";
+  bpf buf "                 B: 100%% / 142.22%% / 115.65%% area, 100%% / 19.42%% / 12.21%% leakage\n\n";
   List.iter
     (fun row ->
       let area_saving, leak_saving = Compare.improvement row in
-      Printf.printf
+      bpf buf
         "%s improved vs conventional: area -%.1f%%, leakage -%.1f%%  (paper: ~-20%%, ~-40%%)\n"
         row.Compare.circuit (100.0 *. area_saving) (100.0 *. leak_saving))
     rows;
-  print_newline ();
-  print_endline (Compare.render_details rows)
+  bnl buf;
+  bline buf (Compare.render_details rows)
 
 (* ------------------------------------------------------------------ *)
 (* FIG 1: MT-cell characterization                                     *)
 (* ------------------------------------------------------------------ *)
 
-let fig1 () =
-  section "FIG-1: 2-input NAND MT-cell structure & characterization";
+let fig1 buf =
+  section buf "FIG-1: 2-input NAND MT-cell structure & characterization";
   let load = 8.0 in
   let flavours =
     [
@@ -90,7 +105,7 @@ let fig1 () =
         ])
       flavours
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Cell"; "Delay @8fF (ps)"; "Standby leak (nW)"; "Area (um^2)"; "Footer W" ]
        rows);
@@ -98,7 +113,7 @@ let fig1 () =
   let get n = List.assoc n (List.map (fun (l, c) -> d l c) flavours) in
   let lv = get "low-Vth (NAND2_LVT)" and hv = get "high-Vth (NAND2_HVT)" in
   let mtv = get "MT + VGND port, Fig.1b (NAND2_MTV)" in
-  Printf.printf
+  bpf buf
     "\npaper's claims hold: MT faster than high-Vth (%.1f < %.1f ps), less standby leakage \
      than low-Vth (%.3f << %.3f nW)\n"
     (Cell.delay mtv ~load_ff:load) (Cell.delay hv ~load_ff:load) mtv.Cell.leak_standby
@@ -133,22 +148,22 @@ let transform technique nl =
       (n, List.length built.Cluster.clusters, ins.Switch_insert.holders_inserted, nl)
     end
 
-let fig23 () =
-  section "FIG-2/3: conventional vs improved Selective-MT circuit";
+let fig23 buf =
+  section buf "FIG-2/3: conventional vs improved Selective-MT circuit";
   let run_on name gen =
     let con = gen () in
     let imp = gen () in
     let n_con, sw_con, hold_con, con = transform `Conventional con in
     let n_imp, sw_imp, hold_imp, imp = transform `Improved imp in
     let equivalent = n_con = 0 || Equiv.equivalent ~vectors:64 con imp in
-    Printf.printf "%-10s MT-cells=%d | Fig.2 conventional: %d switches, %d holders | \
-                   Fig.3 improved: %d shared switches, %d holders | equivalent=%b\n"
+    bpf buf "%-10s MT-cells=%d | Fig.2 conventional: %d switches, %d holders | \
+             Fig.3 improved: %d shared switches, %d holders | equivalent=%b\n"
       name n_con sw_con hold_con sw_imp hold_imp equivalent;
     (n_imp, sw_imp, hold_imp)
   in
   let _ = run_on "fig23" (fun () -> Suite.fig23_example lib) in
   let n, sw, holders = run_on "mult8" (fun () -> Generators.multiplier ~name:"mult8" ~bits:8 lib) in
-  Printf.printf
+  bpf buf
     "\nthe improved circuit shares switches (%d cells over %d switches) and drops the \
      holders whose fanouts stay inside the MT domain (%d holders for %d MT-cells)\n"
     n sw holders n
@@ -157,10 +172,10 @@ let fig23 () =
 (* FIG 4: the design flow, stage by stage                              *)
 (* ------------------------------------------------------------------ *)
 
-let fig4 () =
-  section "FIG-4: improved Selective-MT design flow on circuit A";
+let fig4 buf =
+  section buf "FIG-4: improved Selective-MT design flow on circuit A";
   let r = Flow.run Flow.Improved_smt (Suite.circuit_a lib) in
-  Printf.printf "clock period %.1f ps; final: wns=%.1f ps (met=%b), hold=%.1f ps (met=%b)\n\n"
+  bpf buf "clock period %.1f ps; final: wns=%.1f ps (met=%b), hold=%.1f ps (met=%b)\n\n"
     r.Flow.clock_period r.Flow.wns r.Flow.timing_met r.Flow.hold_slack r.Flow.hold_met;
   let rows =
     List.map
@@ -176,11 +191,11 @@ let fig4 () =
         ])
       r.Flow.stages
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Stage"; "Area"; "Standby nW"; "WNS ps"; "Bounce V"; "Sw"; "Holders" ]
        rows);
-  Printf.printf
+  bpf buf
     "\nnote the single initial switch violating the %.2f V bounce limit, repaired by the \
      clustering stage, and the post-route re-optimization absorbing the extraction error\n"
     tech.Tech.bounce_limit
@@ -189,13 +204,13 @@ let fig4 () =
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablation () =
-  section "ABLATION: design-choice sweeps (improved flow on circuit A)";
+let ablation buf =
+  section buf "ABLATION: design-choice sweeps (improved flow on circuit A)";
   let base = Flow.default_options in
   let run ?(options = base) () = Flow.run ~options Flow.Improved_smt (Suite.circuit_a lib) in
   let params = Cluster.default_params tech in
   (* bounce-limit sweep: the designer's knob *)
-  print_endline "bounce-limit sweep:";
+  bline buf "bounce-limit sweep:";
   let rows =
     List.map
       (fun limit ->
@@ -213,12 +228,12 @@ let ablation () =
         ])
       [ 0.04; 0.06; 0.08; 0.10; 0.14 ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Bounce limit"; "Area"; "Standby nW"; "Clusters"; "Total W"; "WNS ps" ]
        rows);
   (* VGND length cap sweep: the crosstalk knob *)
-  print_endline "\nVGND length cap sweep:";
+  bline buf "\nVGND length cap sweep:";
   let rows =
     List.map
       (fun cap ->
@@ -234,10 +249,10 @@ let ablation () =
         ])
       [ 30.0; 60.0; 120.0; 240.0 ]
   in
-  print_endline
+  bline buf
     (Text_table.render ~header:[ "Length cap"; "Clusters"; "Area"; "Total W" ] rows);
   (* EM cells-per-switch sweep *)
-  print_endline "\nEM cells-per-switch cap sweep:";
+  bline buf "\nEM cells-per-switch cap sweep:";
   let rows =
     List.map
       (fun cap ->
@@ -253,10 +268,10 @@ let ablation () =
         ])
       [ 4; 8; 16; 24; 48 ]
   in
-  print_endline
+  bline buf
     (Text_table.render ~header:[ "Cells/switch"; "Clusters"; "Area"; "Standby nW" ] rows);
   (* binary knobs *)
-  print_endline "\nbinary design choices:";
+  bline buf "\nbinary design choices:";
   let knob name options =
     let r = run ~options () in
     [
@@ -278,7 +293,7 @@ let ablation () =
         { base with Flow.reoptimize = false; Flow.detour = 1.5 };
     ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Variant"; "Area"; "Standby nW"; "Total W"; "Bounce viol"; "Holders" ]
        rows)
@@ -287,11 +302,11 @@ let ablation () =
 (* Extensions: corners, wake-up, retention, sizing                     *)
 (* ------------------------------------------------------------------ *)
 
-let extensions () =
-  section "EXTENSIONS: corners, wake-up cost, retention, gate sizing";
+let extensions buf =
+  section buf "EXTENSIONS: corners, wake-up cost, retention, gate sizing";
   (* leakage vs temperature per technique: why standby leakage is the
      battery killer precisely where phones live (warm pockets) *)
-  print_endline "standby leakage vs temperature (circuit B, nW):";
+  bline buf "standby leakage vs temperature (circuit B, nW):";
   let reports = Flow.completed (Flow.run_all (fun () -> Suite.circuit_b lib)) in
   let temps = [ -40.0; 0.0; 25.0; 85.0; 125.0 ] in
   let header =
@@ -309,9 +324,9 @@ let extensions () =
              temps)
       reports
   in
-  print_endline (Text_table.render ~header rows);
+  bline buf (Text_table.render ~header rows);
   (* wake-up cost vs cluster size: the trade-off that bounds sharing *)
-  print_endline "\nwake-up cost vs cells-per-switch (improved transform of mult8):";
+  bline buf "\nwake-up cost vs cells-per-switch (improved transform of mult8):";
   let rows =
     List.map
       (fun cap ->
@@ -325,7 +340,7 @@ let extensions () =
         let ins = Switch_insert.insert place in
         let params = { (Cluster.default_params tech) with Cluster.cell_limit = cap } in
         let built = Cluster.build ~params place ~mte_net:ins.Switch_insert.mte_net in
-        let wire_length_of sw = Cluster.vgnd_length place sw in
+        let wire_length_of = Cluster.vgnd_lengths place in
         let wake = Smt_power.Wakeup.analyze nl ~wire_length_of in
         [
           string_of_int cap;
@@ -335,12 +350,12 @@ let extensions () =
         ])
       [ 2; 4; 8; 16; 24 ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Cells/switch"; "Clusters"; "Worst wake (ps)"; "Wake energy (fJ)" ]
        rows);
   (* retention registers: removing the sequential leakage floor *)
-  print_endline "\nretention registers (improved flow, circuit B):";
+  bline buf "\nretention registers (improved flow, circuit B):";
   let base = Flow.run Flow.Improved_smt (Suite.circuit_b lib) in
   let ret =
     Flow.run
@@ -356,21 +371,21 @@ let extensions () =
       string_of_int r.Flow.ffs_retained;
     ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Variant"; "Area"; "Standby nW"; "FF leak nW"; "FFs retained" ]
        [ row base "plain flip-flops"; row ret "retention flip-flops" ]);
   (* the Table-1 shape is robust to the timing model: rerun circuit B under
      the NLDM slew-aware engine *)
-  print_endline "\nTable 1 (circuit B) under the NLDM slew-aware timing model:";
+  bline buf "\nTable 1 (circuit B) under the NLDM slew-aware timing model:";
   let nldm_row =
     Compare.table1_row
       ~options:{ Flow.default_options with Flow.slew_aware = true }
       (fun () -> Suite.circuit_b lib)
   in
-  print_endline (Compare.render [ nldm_row ]);
+  bline buf (Compare.render [ nldm_row ]);
   (* statistical leakage under process variation *)
-  print_endline "\nstandby leakage under process variation (circuit B, 500 samples, sigma 0.35):";
+  bline buf "\nstandby leakage under process variation (circuit B, 500 samples, sigma 0.35):";
   let nl_by_tech =
     List.map
       (fun technique ->
@@ -393,12 +408,12 @@ let extensions () =
         ])
       nl_by_tech
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Technique"; "Nominal nW"; "Mean nW"; "P95 nW"; "Rel sigma" ]
        rows);
   (* gate sizing on an X2-mapped netlist *)
-  print_endline "\ngate sizing (X2-mapped mult8, Dual-Vth flow):";
+  bline buf "\ngate sizing (X2-mapped mult8, Dual-Vth flow):";
   let x2_mult () =
     let nl = Generators.multiplier ~name:"m8x2" ~bits:8 lib in
     Smt_netlist.Netlist.iter_insts nl (fun iid ->
@@ -421,7 +436,7 @@ let extensions () =
       Printf.sprintf "%.1f" r.Flow.wns;
     ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Variant"; "Area"; "Standby nW"; "Downsized"; "WNS ps" ]
        [ row unsized "as mapped (X2)"; row sized "with drive recovery" ])
@@ -430,10 +445,10 @@ let extensions () =
 (* System: router-measured detours, sleep protocol, power domains      *)
 (* ------------------------------------------------------------------ *)
 
-let system () =
-  section "SYSTEM: measured routing detour, sleep protocol, power domains";
+let system buf =
+  section buf "SYSTEM: measured routing detour, sleep protocol, power domains";
   (* circuit inventory *)
-  print_endline "circuit inventory (improved flow on each):";
+  bline buf "circuit inventory (improved flow on each):";
   let rows =
     List.filter_map
       (fun (name, g) ->
@@ -455,16 +470,16 @@ let system () =
         end)
       Suite.all
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:[ "Circuit"; "Insts"; "FFs"; "Clock ps"; "MT cells"; "Standby nW"; "Timing" ]
        rows);
-  print_newline ();
+  bnl buf;
   (* the detour factor the flow assumes (1.15), measured by the router *)
   let nl = Generators.multiplier ~name:"m8sys" ~bits:8 lib in
   let place = Placement.place nl in
   let routed = Smt_route.Global_router.route place in
-  Printf.printf
+  bpf buf
     "global router on mult8: %d nets, %.0f um routed, overflow %d edges, max congestion \
      %.2f, measured detour factor %.3f (flow assumes 1.15)\n\n"
     (Smt_route.Global_router.routed_nets routed)
@@ -476,7 +491,7 @@ let system () =
   let nl = Generators.multiplier ~name:"m8sp" ~bits:8 lib in
   let report = Flow.run Flow.Improved_smt nl in
   let o = Smt_core.Standby.simulate nl in
-  Printf.printf
+  bpf buf
     "sleep protocol (improved mult8): state preserved %b | outputs held %b | X leaks %d | \
      wake-up correct from cycle 1 %b | MTE tree delay %.1f ps\n\n"
     o.Smt_core.Standby.state_preserved o.Smt_core.Standby.outputs_defined_in_standby
@@ -494,7 +509,7 @@ let system () =
   let place = Placement.place nl in
   ignore (Switch_insert.insert place);
   let d = Smt_core.Domains.partition ~domains:2 place in
-  print_endline "two power domains on mult8:";
+  bline buf "two power domains on mult8:";
   let rows =
     List.map
       (fun (label, asleep) ->
@@ -504,12 +519,12 @@ let system () =
         ("full standby", [ 0; 1 ]);
       ]
   in
-  print_endline (Text_table.render ~header:[ "State"; "Leakage nW" ] rows);
+  bline buf (Text_table.render ~header:[ "State"; "Leakage nW" ] rows);
   (* sleep-vector selection: the state of the cells left powered matters *)
   let nl_sv = Generators.multiplier ~name:"m8sv" ~bits:8 lib in
   ignore (Flow.run Flow.Dual_vth nl_sv);
   let sv = Smt_power.Sleep_vector.search ~tries:64 nl_sv in
-  Printf.printf
+  bpf buf
     "\nsleep-vector search (Dual-Vth mult8, 64 vectors): best %.0f nW, average %.0f nW, \
      worst %.0f nW — parking the inputs well saves %.1f%% of standby leakage for free\n\n"
     sv.Smt_power.Sleep_vector.best_nw sv.Smt_power.Sleep_vector.average_nw
@@ -527,31 +542,31 @@ let system () =
   let ins_vg = Switch_insert.insert place_vg in
   ignore (Cluster.build place_vg ~mte_net:ins_vg.Switch_insert.mte_net);
   let routed_vg = Smt_route.Global_router.route place_vg in
+  let vgnd_len = Cluster.vgnd_lengths place_vg in
   let assumed = ref 0.0 and measured = ref 0.0 in
   List.iter
-    (fun sw ->
-      let members = Netlist.switch_members nl_vg sw in
+    (fun (sw, members) ->
       let pts =
         List.filter_map (fun m -> Placement.inst_point_opt place_vg m) members
         @ (match Placement.inst_point_opt place_vg sw with Some p -> [ p ] | None -> [])
       in
-      assumed := !assumed +. (Cluster.vgnd_length place_vg sw *. 1.15);
+      assumed := !assumed +. (vgnd_len sw *. 1.15);
       measured := !measured +. Smt_route.Global_router.congested_length routed_vg pts)
-    (Netlist.switches nl_vg);
-  Printf.printf
+    (Netlist.switch_groups nl_vg);
+  bpf buf
     "VGND line lengths, all clusters (mult8): assumed %.0f um (spanning x1.15) vs \
      congestion-measured %.0f um\n\n"
     !assumed !measured;
   (* multi-corner sign-off of the finished improved block *)
-  print_endline "\nmulti-corner sign-off (improved mult8):";
+  bline buf "\nmulti-corner sign-off (improved mult8):";
   let nl_so = Generators.multiplier ~name:"m8so" ~bits:8 lib in
   let rep_so = Flow.run Flow.Improved_smt nl_so in
   let so =
     Smt_core.Signoff.run (Sta.config ~clock_period:rep_so.Flow.clock_period ()) nl_so
   in
-  print_endline (Smt_core.Signoff.render so);
+  bline buf (Smt_core.Signoff.render so);
   (* scalability of the flow infrastructure *)
-  print_endline "\nflow scalability (improved flow on multipliers):";
+  bline buf "\nflow scalability (improved flow on multipliers):";
   let evals = Metrics.counter "sta.arrival_evals" in
   let rows =
     List.map
@@ -574,7 +589,7 @@ let system () =
         ])
       [ 4; 8; 12; 16 ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:
          [ "Circuit"; "Instances"; "MT cells"; "Clusters"; "Flow time"; "STA evals"; "Timing" ]
@@ -582,7 +597,7 @@ let system () =
   (* the all-MT strawman, apples to apples: identical mini-pipelines
      (Vth assignment -> replacement -> insertion -> clustering), the only
      difference being whether high-Vth survivors are gated too *)
-  print_endline "\nall-MT comparison point (identical pipelines on mult8):";
+  bline buf "\nall-MT comparison point (identical pipelines on mult8):";
   let mini ~all name =
     let nl = Generators.multiplier ~name ~bits:8 lib in
     let sta0 = Sta.analyze (Sta.config ~clock_period:probe ()) nl in
@@ -599,7 +614,7 @@ let system () =
     let stats = Smt_netlist.Nl_stats.compute nl in
     let leak = (Smt_power.Leakage.standby nl).Smt_power.Leakage.total in
     let wakes =
-      Smt_power.Wakeup.analyze nl ~wire_length_of:(fun sw -> Cluster.vgnd_length place sw)
+      Smt_power.Wakeup.analyze nl ~wire_length_of:(Cluster.vgnd_lengths place)
     in
     let wake = Smt_power.Wakeup.worst_wake_time wakes in
     let rush =
@@ -617,13 +632,13 @@ let system () =
       Printf.sprintf "%.0f" energy;
     ]
   in
-  print_endline
+  bline buf
     (Text_table.render
        ~header:
          [ "Style"; "MT cells"; "Area"; "Standby nW"; "Holders"; "Wake ps"; "Rush uA";
            "Wake fJ" ]
        [ mini ~all:false "m8sel"; mini ~all:true "m8all" ]);
-  print_endline
+  bline buf
     "(gating everything buys a few percent of leakage but gates twice the cells:\n\
      more area, a larger wake-up charge and rush-current surge — for logic that\n\
      barely leaked. That asymmetry is the 'selective' in Selective-MT.)"
@@ -632,8 +647,8 @@ let system () =
 (* Bechamel micro-benchmarks: one Test.make per table / figure         *)
 (* ------------------------------------------------------------------ *)
 
-let bechamel_benches () =
-  section "BECHAMEL: runtime of each experiment's generator";
+let bechamel_benches buf =
+  section buf "BECHAMEL: runtime of each experiment's generator";
   let open Bechamel in
   let open Toolkit in
   (* Named workloads, used twice: once instrumented (counter deltas per
@@ -690,10 +705,10 @@ let bechamel_benches () =
         name :: List.map2 (fun a b -> string_of_int (a - b)) after before)
       workloads
   in
-  print_endline "per-benchmark counters (one untimed run each):";
-  print_endline
+  bline buf "per-benchmark counters (one untimed run each):";
+  bline buf
     (Text_table.render ~header:("Benchmark" :: List.map snd tracked) counter_rows);
-  print_newline ();
+  bnl buf;
   let test =
     Test.make_grouped ~name:"selective-mt"
       (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) workloads)
@@ -714,28 +729,39 @@ let bechamel_benches () =
       rows := [ name; Printf.sprintf "%.3f ms" (time_ns /. 1e6) ] :: !rows)
     results;
   let rows = List.sort compare !rows in
-  print_endline (Text_table.render ~header:[ "Benchmark"; "Time per run" ] rows)
+  bline buf (Text_table.render ~header:[ "Benchmark"; "Time per run" ] rows)
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Each section runs against a freshly zeroed metrics registry, so its
-   counter readout is its own work, not the accumulation of everything
-   before it (which is what the old whole-run dump showed). *)
-let run_sections sections =
-  List.map
-    (fun (name, f) ->
-      Metrics.reset ();
-      f ();
-      (name, Metrics.counters ()))
-    sections
+(* Each section's counter readout is the delta its own work produced, not
+   the accumulation of everything before it. Computing before/after deltas
+   (instead of resetting the registry per section) gives the same numbers
+   whether sections run sequentially or spread across pool workers, where
+   each job already starts against a fresh domain-local store. *)
+let run_sections ~jobs sections =
+  let run_one (name, f) =
+    let before = Metrics.counters () in
+    let buf = Buffer.create 8192 in
+    f buf;
+    let after = Metrics.counters () in
+    let delta =
+      List.filter_map
+        (fun (c, v) ->
+          let v0 = Option.value (List.assoc_opt c before) ~default:0 in
+          if v - v0 <> 0 then Some (c, v - v0) else None)
+        after
+    in
+    (name, Buffer.contents buf, delta)
+  in
+  Par.map ~jobs run_one sections
 
 let sections_json per_section =
   let module J = Smt_obs.Obs_json in
   J.obj
     (List.map
-       (fun (name, counters) ->
+       (fun (name, _, counters) ->
          ( name,
            J.obj
              (List.map (fun (c, v) -> (c, string_of_int v))
@@ -743,8 +769,9 @@ let sections_json per_section =
        per_section)
 
 let () =
+  let jobs = Pool.default_jobs () in
   let per_section =
-    run_sections
+    run_sections ~jobs
       [
         ("table1", table1);
         ("fig1", fig1);
@@ -756,6 +783,8 @@ let () =
         ("bechamel", bechamel_benches);
       ]
   in
+  (* Buffers print in input order: stdout is identical at any job count. *)
+  List.iter (fun (_, out, _) -> print_string out) per_section;
   (* SMT_METRICS=FILE dumps one counter object per section — regression
      tracking of how much work each reproduction does, not just how long. *)
   (match Sys.getenv_opt "SMT_METRICS" with
@@ -769,7 +798,7 @@ let () =
     Option.value (Sys.getenv_opt "SMT_BENCH_OUT") ~default:"BENCH_seed.json"
   in
   Metrics.reset ();
-  let snap = Smt_core.Qor.collect ~tag:"seed" () in
+  let snap = Smt_core.Qor.collect ~jobs ~tag:"seed" () in
   Smt_obs.Snapshot.write bench_out snap;
   Printf.eprintf "QoR snapshot (%d workloads) written to %s\n%!"
     (List.length snap.Smt_obs.Snapshot.s_workloads)

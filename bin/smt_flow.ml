@@ -108,6 +108,23 @@ let technique_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the independent flow runs (default: the SMT_JOBS \
+           environment variable, else the recommended domain count).  Results, QoR \
+           fields, and work counters are identical at any job count.")
+
+let jobs_of = function
+  | Some n when n >= 1 -> n
+  | Some n ->
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" n;
+    exit 2
+  | None -> Smt_util.Pool.default_jobs ()
+
 let bounce_arg =
   Arg.(value & opt (some float) None & info [ "bounce-limit" ] ~doc:"VGND bounce limit (V).")
 
@@ -270,13 +287,14 @@ let stages_cmd =
     Term.(const run $ obs_term $ circuit_arg $ seed_arg $ bounce_arg $ length_arg $ cells_arg)
 
 let table1_cmd =
-  let run obs seed json =
+  let run obs seed jobs json =
+    let jobs = jobs_of jobs in
     let l = lib () in
     let options = { Flow.default_options with Flow.seed } in
     let rows =
       [
-        Smt_core.Compare.table1_row ~options (fun () -> Suite.circuit_a l);
-        Smt_core.Compare.table1_row ~options (fun () -> Suite.circuit_b l);
+        Smt_core.Compare.table1_row ~options ~jobs (fun () -> Suite.circuit_a l);
+        Smt_core.Compare.table1_row ~options ~jobs (fun () -> Suite.circuit_b l);
       ]
     in
     (match json with
@@ -296,7 +314,7 @@ let table1_cmd =
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the comparison as JSON to $(docv).")
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1")
-    Term.(const run $ obs_term $ seed_arg $ json_arg)
+    Term.(const run $ obs_term $ seed_arg $ jobs_arg $ json_arg)
 
 let report_cmd =
   let run obs circuit technique seed =
@@ -372,8 +390,8 @@ let explain_cmd =
       $ json_arg)
 
 let bench_snapshot_cmd =
-  let run obs seed tag out =
-    let snap = Smt_core.Qor.collect ~seed ~tag () in
+  let run obs seed jobs tag out =
+    let snap = Smt_core.Qor.collect ~seed ~jobs:(jobs_of jobs) ~tag () in
     let path = match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" tag in
     Smt_obs.Snapshot.write path snap;
     Printf.printf "snapshot %s (%d workloads) written to %s\n" tag
@@ -396,10 +414,10 @@ let bench_snapshot_cmd =
          "Run the benchmark workloads (circuits A and B under each technique) and write \
           a versioned QoR snapshot: per-workload QoR fields, deterministic work-counter \
           deltas, and per-stage wall-clock times.")
-    Term.(const run $ obs_term $ seed_arg $ tag_arg $ out_arg)
+    Term.(const run $ obs_term $ seed_arg $ jobs_arg $ tag_arg $ out_arg)
 
 let bench_compare_cmd =
-  let run obs baseline current seed =
+  let run obs baseline current seed jobs =
     let read_or_die path =
       match Smt_obs.Snapshot.read path with
       | Ok s -> s
@@ -411,7 +429,7 @@ let bench_compare_cmd =
     let current =
       match current with
       | Some path -> read_or_die path
-      | None -> Smt_core.Qor.collect ~seed ~tag:"current" ()
+      | None -> Smt_core.Qor.collect ~seed ~jobs:(jobs_of jobs) ~tag:"current" ()
     in
     let deltas = Smt_obs.Snapshot.compare ~baseline ~current in
     print_endline (Smt_obs.Snapshot.render deltas);
@@ -437,7 +455,7 @@ let bench_compare_cmd =
          "Compare a QoR snapshot against a baseline.  QoR fields and work counters must \
           match exactly (wall-clock drift is advisory only); exits 1 when any \
           regression is found.")
-    Term.(const run $ obs_term $ baseline_arg $ current_arg $ seed_arg)
+    Term.(const run $ obs_term $ baseline_arg $ current_arg $ seed_arg $ jobs_arg)
 
 let list_cmd =
   let run () =

@@ -113,6 +113,11 @@ let check ?phase ?place ?(expect_buffered_mte = true) nl =
         fanout cap
   | Some _ | None -> ());
   (* --- instance rules --- *)
+  (* One pass for switch membership instead of a scan per switch below. *)
+  let populated_switches = Hashtbl.create 97 in
+  List.iter
+    (fun (sw, members) -> if members <> [] then Hashtbl.replace populated_switches sw ())
+    (Netlist.switch_groups nl);
   Netlist.iter_insts nl (fun iid ->
       let cell = Netlist.cell nl iid in
       let name = Netlist.inst_name nl iid in
@@ -146,7 +151,7 @@ let check ?phase ?place ?(expect_buffered_mte = true) nl =
           emit V.Error V.Degenerate_switch loc ~hint:"clamp to a sane footer width"
             "sleep switch width is %s"
             (if Float.is_nan w then "NaN" else Printf.sprintf "%g" w);
-        if Netlist.switch_members nl iid = [] then
+        if not (Hashtbl.mem populated_switches iid) then
           emit V.Warn V.Orphan_switch loc ~hint:"remove the unused switch"
             "sleep switch has no member MT-cells"
       end;

@@ -71,12 +71,26 @@ let cluster_length ?switch_at place p members =
   let pts = match switch_at with Some at -> at :: pts | None -> pts in
   Geom.spanning_length pts *. p.length_factor
 
-let vgnd_length place sw =
+let vgnd_length ?members place sw =
   let nl = Placement.netlist place in
-  let members = Netlist.switch_members nl sw in
+  let members =
+    match members with Some m -> m | None -> Netlist.switch_members nl sw
+  in
   let pts = member_points place members in
   let pts = match Placement.inst_point_opt place sw with Some at -> at :: pts | None -> pts in
   Geom.spanning_length pts
+
+let vgnd_lengths place =
+  (* One [switch_groups] pass instead of a members scan per switch; the
+     returned function falls back to the direct computation for switches
+     created after the table was built. *)
+  let nl = Placement.netlist place in
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun (sw, members) -> Hashtbl.replace tbl sw (vgnd_length ~members place sw))
+    (Netlist.switch_groups nl);
+  fun sw ->
+    match Hashtbl.find_opt tbl sw with Some l -> l | None -> vgnd_length place sw
 
 (* Simultaneous current of a would-be cluster under the sizing policy. *)
 let sim_current ?activity ?load_of p nl members =
@@ -130,10 +144,10 @@ let build ?activity ?load_of ?params ?(dissolve = true) ?cells place ~mte_net =
   (* Dissolve the existing switch structure. *)
   if dissolve then
     List.iter
-      (fun sw ->
-        List.iter (fun m -> Netlist.set_vgnd_switch nl m None) (Netlist.switch_members nl sw);
+      (fun (sw, members) ->
+        List.iter (fun m -> Netlist.set_vgnd_switch nl m None) members;
         Netlist.remove_inst nl sw)
-      (Netlist.switches nl);
+      (Netlist.switch_groups nl);
   let cells =
     match cells with
     | Some l -> l
@@ -244,8 +258,8 @@ let refine ?activity ?load_of ?params ?(passes = 2) place =
   let p = match params with Some p -> p | None -> default_params tech in
   let membership = Hashtbl.create 97 in
   List.iter
-    (fun sw -> Hashtbl.replace membership sw (Netlist.switch_members nl sw))
-    (Netlist.switches nl);
+    (fun (sw, members) -> Hashtbl.replace membership sw members)
+    (Netlist.switch_groups nl);
   let switch_ids () = Hashtbl.fold (fun k _ acc -> k :: acc) membership [] in
   let centroid_of sw = Placement.centroid place (Hashtbl.find membership sw) in
   let width_of members = group_width ?activity ?load_of place p members in

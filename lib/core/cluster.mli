@@ -55,8 +55,20 @@ val required_width : Smt_cell.Tech.t -> params -> current_ua:float -> wire_lengt
     line; [None] when the wire alone already exceeds the budget (the
     cluster must shrink). *)
 
-val vgnd_length : Smt_place.Placement.t -> Smt_netlist.Netlist.inst_id -> float
-(** Current VGND spanning length of a switch's cluster (switch included). *)
+val vgnd_length :
+  ?members:Smt_netlist.Netlist.inst_id list ->
+  Smt_place.Placement.t ->
+  Smt_netlist.Netlist.inst_id ->
+  float
+(** Current VGND spanning length of a switch's cluster (switch included).
+    Scans the netlist for the members unless [members] is supplied. *)
+
+val vgnd_lengths :
+  Smt_place.Placement.t -> Smt_netlist.Netlist.inst_id -> float
+(** Precomputed [vgnd_length] for every current switch in one netlist
+    pass — the efficient [wire_length_of] callback for
+    {!Smt_power.Bounce.analyze} / {!Smt_power.Wakeup.analyze}.  Switches
+    added after the call fall back to the direct scan. *)
 
 val refine :
   ?activity:Smt_sim.Activity.t ->

@@ -12,8 +12,8 @@ type row = {
   entries : entry list;
 }
 
-let table1_row ?options fresh =
-  let outcomes = Flow.run_all ?options fresh in
+let table1_row ?options ?jobs fresh =
+  let outcomes = Flow.run_all ?options ?jobs fresh in
   let reports = Flow.completed outcomes in
   let dual =
     match

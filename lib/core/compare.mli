@@ -18,8 +18,10 @@ type row = {
           [render] prints "fail" in its column *)
 }
 
-val table1_row : ?options:Flow.options -> (unit -> Smt_netlist.Netlist.t) -> row
-(** @raise Invalid_argument when the Dual-Vth baseline itself failed. *)
+val table1_row :
+  ?options:Flow.options -> ?jobs:int -> (unit -> Smt_netlist.Netlist.t) -> row
+(** [jobs] (default 1) is passed straight to {!Flow.run_all}.
+    @raise Invalid_argument when the Dual-Vth baseline itself failed. *)
 
 val improvement : row -> float * float
 (** [(area_saving, leakage_saving)] of improved over conventional, as

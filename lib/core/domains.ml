@@ -70,10 +70,10 @@ let partition ?(domains = 2) ?activity ?params place =
   if cells = [] then invalid_arg "Domains.partition: no MT-cells to partition";
   (* dissolve any existing structure once *)
   List.iter
-    (fun sw ->
-      List.iter (fun m -> Netlist.set_vgnd_switch nl m None) (Netlist.switch_members nl sw);
+    (fun (sw, members) ->
+      List.iter (fun m -> Netlist.set_vgnd_switch nl m None) members;
       Netlist.remove_inst nl sw)
-    (Netlist.switches nl);
+    (Netlist.switch_groups nl);
   let groups = kmeans place cells domains in
   let mtes =
     Array.init domains (fun i ->

@@ -15,6 +15,7 @@ module Vth = Smt_cell.Vth
 module Trace = Smt_obs.Trace
 module Metrics = Smt_obs.Metrics
 module Log = Smt_obs.Log
+module Par = Smt_obs.Par
 module Drc = Smt_check.Drc
 module Repair = Smt_check.Repair
 module Violation = Smt_check.Violation
@@ -391,7 +392,7 @@ let run_with_artifacts ?(options = default_options) technique nl =
         guard_phase := Drc.Post_mt;
         holders_avoided := ins.Switch_insert.holders_avoided;
         let bounce0 =
-          let wire_length_of sw = Cluster.vgnd_length place sw in
+          let wire_length_of = Cluster.vgnd_lengths place in
           Bounce.worst (Bounce.analyze ~load_of:load_est nl ~wire_length_of)
         in
         snapshot ~bounce:bounce0 "switch & holder insertion (initial structure)";
@@ -405,7 +406,7 @@ let run_with_artifacts ?(options = default_options) technique nl =
         in
         clusters := built.Cluster.clusters;
         let bounce1 =
-          let wire_length_of sw = Cluster.vgnd_length place sw in
+          let wire_length_of = Cluster.vgnd_lengths place in
           Bounce.worst (Bounce.analyze ~activity:act ~load_of:load_est nl ~wire_length_of)
         in
         snapshot ~bounce:bounce1 "switch structure construction (clustering & sizing)"
@@ -453,10 +454,15 @@ let run_with_artifacts ?(options = default_options) technique nl =
   let wire_ext = Parasitics.wire_model ext nl in
   let ext_cfg = Sta.config ~wire:wire_ext ~slew_aware:options.slew_aware ~clock_period () in
   let load_ext = load_with ext_cfg in
-  let routed_vgnd sw = Cluster.vgnd_length place sw *. options.detour in
+  (* Rebuilt per analysis so later stages (reopt, hold ECO) see current
+     membership; each build is one netlist pass via [vgnd_lengths]. *)
+  let routed_vgnd () =
+    let lengths = Cluster.vgnd_lengths place in
+    fun sw -> lengths sw *. options.detour
+  in
   let bounce_reports () =
     Bounce.analyze ?activity:!activity ~load_of:load_ext
-      ~limit:params.Cluster.bounce_limit nl ~wire_length_of:routed_vgnd
+      ~limit:params.Cluster.bounce_limit nl ~wire_length_of:(routed_vgnd ())
   in
   let post_route_cfg bounce_fn =
     {
@@ -548,8 +554,8 @@ type outcome =
 let completed outcomes =
   List.filter_map (function Completed r -> Some r | Failed _ -> None) outcomes
 
-let run_all ?options fresh =
-  List.map
+let run_all ?options ?(jobs = 1) fresh =
+  Par.map ~jobs
     (fun technique ->
       try Completed (run ?options technique (fresh ())) with
       | Flow_error e ->

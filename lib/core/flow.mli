@@ -197,8 +197,12 @@ type outcome =
 val completed : outcome list -> report list
 (** The successful reports, in sweep order. *)
 
-val run_all : ?options:options -> (unit -> Smt_netlist.Netlist.t) -> outcome list
+val run_all :
+  ?options:options -> ?jobs:int -> (unit -> Smt_netlist.Netlist.t) -> outcome list
 (** One fresh netlist per technique, in order
-    [Dual_vth; Conventional_smt; Improved_smt]. *)
+    [Dual_vth; Conventional_smt; Improved_smt].  [jobs] (default 1) runs
+    the techniques concurrently on that many domains via {!Smt_obs.Par};
+    outcomes, metric totals, and reports are identical at any job
+    count. *)
 
 val pp_report : Format.formatter -> report -> unit

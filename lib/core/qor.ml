@@ -43,6 +43,6 @@ let run_workload ~options (name, gen, t) =
     ~counters:(counter_delta ~before ~after)
     ~stage_ms:(List.map (fun (s : Flow.stage) -> (s.Flow.stage_name, s.Flow.stage_ms)) r.Flow.stages)
 
-let collect ?(seed = 1) ~tag () =
+let collect ?(seed = 1) ?(jobs = 1) ~tag () =
   let options = { Flow.default_options with Flow.seed } in
-  Snapshot.make ~tag (List.map (run_workload ~options) default_workloads)
+  Snapshot.make ~tag (Smt_obs.Par.map ~jobs (run_workload ~options) default_workloads)

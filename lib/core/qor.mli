@@ -29,7 +29,10 @@ val qor_of : Flow.report -> (string * float) list
 (** The snapshot's QoR fields for one report: area, standby leakage, WNS,
     cluster/switch/holder/MT-cell counts, total switch width. *)
 
-val collect : ?seed:int -> tag:string -> unit -> Smt_obs.Snapshot.t
+val collect : ?seed:int -> ?jobs:int -> tag:string -> unit -> Smt_obs.Snapshot.t
 (** Run every default workload (seed 1 by default) and assemble the
-    snapshot.  Mutates the process-global metrics registry as a side
-    effect of running the flows. *)
+    snapshot.  Mutates the calling domain's metrics store as a side
+    effect of running the flows.  [jobs] (default 1) runs the six
+    workloads concurrently via {!Smt_obs.Par}; each job's counters are
+    collected in a scoped store, so the per-workload deltas — and the
+    snapshot JSON — are identical at any job count. *)

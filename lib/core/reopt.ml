@@ -36,12 +36,11 @@ let reoptimize ?activity ?load_of ?params ?(detour = 1.15) ?length_of place =
   let p = match params with Some p -> p | None -> Cluster.default_params tech in
   let adjustments =
     List.map
-      (fun sw ->
-        let members = Netlist.switch_members nl sw in
+      (fun (sw, members) ->
         let routed_length =
           match length_of with
           | Some f -> f sw
-          | None -> Cluster.vgnd_length place sw *. detour
+          | None -> Cluster.vgnd_length ~members place sw *. detour
         in
         let current =
           if p.Cluster.diversity then Bounce.simultaneous_current ?activity ?load_of nl ~members
@@ -76,7 +75,7 @@ let reoptimize ?activity ?load_of ?params ?(detour = 1.15) ?length_of place =
           bounce_before;
           bounce_after;
         })
-      (Netlist.switches nl)
+      (Netlist.switch_groups nl)
   in
   let count f = List.length (List.filter f adjustments) in
   let r =

@@ -59,7 +59,9 @@ let pick_opt rng = function
 (* Switches that actually gate MT-cells: dropping or detaching those is
    what makes the fault observable. *)
 let populated_switches nl =
-  List.filter (fun sw -> Netlist.switch_members nl sw <> []) (Netlist.switches nl)
+  List.filter_map
+    (fun (sw, members) -> if members <> [] then Some sw else None)
+    (Netlist.switch_groups nl)
 
 let inject ~seed nl fault =
   let rng = Rng.create (0x0fa17 + seed) in

@@ -34,6 +34,8 @@ type t = {
   nets : net Vec.t;
   net_index : (string, net_id) Hashtbl.t;
   inst_index : (string, inst_id) Hashtbl.t;
+  (* Newest first: ports prepend on add (O(1), not O(ports)) and the
+     [inputs]/[outputs] accessors reverse into declaration order. *)
   mutable ports_in : (string * net_id) list;
   mutable ports_out : (string * net_id) list;
   mutable clock : net_id option;
@@ -91,20 +93,20 @@ let fresh_net t stem =
 let add_input ?(clock = false) t name =
   let id = add_net ~clock t name in
   (Vec.get t.nets id).n_is_pi <- true;
-  t.ports_in <- t.ports_in @ [ (name, id) ];
+  t.ports_in <- (name, id) :: t.ports_in;
   id
 
 let add_output t name =
   let id = add_net t name in
   (Vec.get t.nets id).n_is_po <- true;
-  t.ports_out <- t.ports_out @ [ (name, id) ];
+  t.ports_out <- (name, id) :: t.ports_out;
   id
 
 let mark_output t nid =
   let n = Vec.get t.nets nid in
   if not n.n_is_po then begin
     n.n_is_po <- true;
-    t.ports_out <- t.ports_out @ [ (n.net_name, nid) ]
+    t.ports_out <- (n.net_name, nid) :: t.ports_out
   end
 
 let mark_clock t nid =
@@ -121,8 +123,8 @@ let is_clock_net t nid = (Vec.get t.nets nid).n_is_clock
 let driver t nid = (Vec.get t.nets nid).driver
 let sinks t nid = (Vec.get t.nets nid).sinks
 let holder_of t nid = (Vec.get t.nets nid).holder
-let inputs t = t.ports_in
-let outputs t = t.ports_out
+let inputs t = List.rev t.ports_in
+let outputs t = List.rev t.ports_out
 let clock_net t = t.clock
 
 (* --- pin directions --- *)
@@ -401,6 +403,23 @@ let switches t =
       if (not inst.i_dead) && inst.i_cell.Cell.kind = Func.Sleep_switch then acc := i :: !acc)
     t.insts;
   List.rev !acc
+
+let switch_groups t =
+  (* One pass over the instances instead of a [switch_members] scan per
+     switch: collect members keyed by their switch, then emit in the
+     [switches] order with members ascending (both as [switch_members]
+     reports them). *)
+  let members : (inst_id, inst_id list) Hashtbl.t = Hashtbl.create 97 in
+  Vec.iteri
+    (fun i inst ->
+      if not inst.i_dead then
+        match inst.i_vgnd with
+        | Some sw -> Hashtbl.replace members sw (i :: Option.value (Hashtbl.find_opt members sw) ~default:[])
+        | None -> ())
+    t.insts;
+  List.map
+    (fun sw -> (sw, List.rev (Option.value (Hashtbl.find_opt members sw) ~default:[])))
+    (switches t)
 
 let total_area t =
   Vec.fold (fun acc inst -> if inst.i_dead then acc else acc +. inst.i_cell.Cell.area) 0.0 t.insts

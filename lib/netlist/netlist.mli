@@ -131,5 +131,12 @@ val switch_members : t -> inst_id -> inst_id list
 val switches : t -> inst_id list
 (** All live sleep-switch instances. *)
 
+val switch_groups : t -> (inst_id * inst_id list) list
+(** Every live sleep switch paired with its members, in [switches] order
+    with members as [switch_members] lists them — but built in one pass
+    over the instances, where a [switch_members] call per switch is
+    O(switches × instances).  Callers iterating all switches should use
+    this. *)
+
 val total_area : t -> float
 (** Sum of live instance areas. *)

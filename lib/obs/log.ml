@@ -28,14 +28,22 @@ let set_level l = current := l
 let level () = !current
 let enabled l = severity l >= severity !current && !current <> Off
 
+(* One line per [emit], guarded so concurrent domains never interleave
+   partial lines on stderr. *)
+let sink_mu = Mutex.create ()
+
 let emit l ?(fields = []) component msg =
   if enabled l then begin
     let b = Buffer.create 80 in
     Buffer.add_string b (Printf.sprintf "[smt:%s] %s: %s" (level_name l) component msg);
     List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v)) fields;
     Buffer.add_char b '\n';
-    output_string stderr (Buffer.contents b);
-    flush stderr
+    Mutex.lock sink_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sink_mu)
+      (fun () ->
+        output_string stderr (Buffer.contents b);
+        flush stderr)
   end
 
 let debug ?fields component msg = emit Debug ?fields component msg

@@ -7,6 +7,16 @@
     Instruments never affect computation results — they only observe — so a
     run with the registry untouched is bit-identical to one that dumps it.
 
+    {b Domain safety.}  Instrument {e definitions} (names) are global and
+    mutex-guarded, so concurrent registration from worker domains is safe.
+    Instrument {e values} are per-domain: [incr]/[set]/[observe] touch only
+    the calling domain's store and never contend, and the readers
+    ([counters], [snapshot], [to_json], ...) report the calling domain's
+    values.  Parallel jobs hand their effects back to the caller through
+    {!collect} and {!merge}; merging job stores in input order reproduces
+    the sequential totals exactly — counters and histograms are additive
+    (order-independent), gauges are last-write-wins.
+
     Naming convention: [subsystem.thing_unit] (e.g. [sta.arrival_evals],
     [eco.buffers_added], [flow.stage_ms]). *)
 
@@ -47,8 +57,26 @@ val snapshot : unit -> (string * float) list
     contribute [name.count] and [name.sum]. *)
 
 val reset : unit -> unit
-(** Zero every registered instrument (registrations survive).  For tests
-    and benchmark harnesses that diff the registry between workloads. *)
+(** Zero every registered instrument in the calling domain's store
+    (registrations survive).  For tests and benchmark harnesses that diff
+    the registry between workloads. *)
+
+type collected
+(** The instrument values accumulated during one {!collect} scope. *)
+
+val collect : (unit -> 'a) -> 'a * collected
+(** [collect f] runs [f] against a fresh, empty value store and returns
+    its result together with everything [f] recorded; the caller's own
+    values are untouched and restored before returning (also on
+    exception, in which case the recorded values are discarded with the
+    re-raise).  The parallel-sweep primitive: run each job under
+    [collect], then {!merge} the job stores on the caller in input
+    order. *)
+
+val merge : collected -> unit
+(** Fold a collected store into the calling domain's store: counters and
+    histogram buckets/sums add; gauges that were written inside the
+    scope overwrite the caller's value (last-write-wins). *)
 
 val to_json : unit -> string
 (** The whole registry as one JSON object:

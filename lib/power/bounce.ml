@@ -75,8 +75,7 @@ let analyze ?activity ?load_of ?limit nl ~wire_length_of =
   let tech = Smt_cell.Library.tech (Netlist.lib nl) in
   let limit = match limit with Some l -> l | None -> tech.Tech.bounce_limit in
   List.map
-    (fun sw ->
-      let members = Netlist.switch_members nl sw in
+    (fun (sw, members) ->
       let current = simultaneous_current ?activity ?load_of nl ~members in
       let width = (Netlist.cell nl sw).Cell.switch_width in
       let wire_length = wire_length_of sw in
@@ -89,7 +88,7 @@ let analyze ?activity ?load_of ?limit nl ~wire_length_of =
         bounce = b;
         ok = b <= limit;
       })
-    (Netlist.switches nl)
+    (Netlist.switch_groups nl)
 
 let worst reports = List.fold_left (fun acc r -> Float.max acc r.bounce) 0.0 reports
 

@@ -136,9 +136,13 @@ let clusters ?cell_limit ?bounce_limit nl ~bounce =
   let bounce_limit =
     match bounce_limit with Some l -> l | None -> tech.Smt_cell.Tech.bounce_limit
   in
+  let groups = Hashtbl.create 97 in
+  List.iter (fun (sw, ms) -> Hashtbl.replace groups sw ms) (Netlist.switch_groups nl);
   List.map
     (fun (r : Bounce.cluster_report) ->
-      let members = Netlist.switch_members nl r.Bounce.switch in
+      let members =
+        Option.value (Hashtbl.find_opt groups r.Bounce.switch) ~default:[]
+      in
       let members_nw =
         List.fold_left (fun acc m -> acc +. (Netlist.cell nl m).Cell.leak_standby) 0.0 members
       in

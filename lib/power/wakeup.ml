@@ -19,8 +19,7 @@ let cell_vgnd_cap cell = 0.8 *. cell.Cell.area
 let analyze nl ~wire_length_of =
   let tech = Library.tech (Netlist.lib nl) in
   List.map
-    (fun sw ->
-      let members = Netlist.switch_members nl sw in
+    (fun (sw, members) ->
       let cap_cells =
         List.fold_left (fun acc iid -> acc +. cell_vgnd_cap (Netlist.cell nl iid)) 0.0 members
       in
@@ -40,7 +39,7 @@ let analyze nl ~wire_length_of =
         wake_energy_fj = energy_fj;
         rush_current_ua = rush;
       })
-    (Netlist.switches nl)
+    (Netlist.switch_groups nl)
 
 let worst_wake_time reports =
   List.fold_left (fun acc r -> Float.max acc r.wake_time_ps) 0.0 reports

@@ -46,6 +46,7 @@ type t = {
   cfg : config;
   nl : Netlist.t;
   order : Netlist.inst_id list;
+  loads : float array;  (* per net, capacitive load seen by the driver *)
   at_max : float array;  (* per net, at driver output *)
   at_min : float array;
   at_slew : float array;  (* per net, output slew at the driver *)
@@ -84,13 +85,22 @@ let cell_delay cfg nl iid =
     (Smt_cell.Library.tech (Netlist.lib nl))
     cell ~load_ff:load ~bounce_v:(cfg.bounce_of iid)
 
+(* Per-net loads for one (re)analysis: every [gate_timing] call during
+   seed/forward used to re-fold its output net's sink list; one pass here
+   makes that an array read, and [update] invalidates only the nets
+   adjacent to the changed instances. *)
+let compute_loads cfg nl =
+  let loads = Array.make (Netlist.net_count nl) 0.0 in
+  Netlist.iter_nets nl (fun nid -> loads.(nid) <- load_of_net cfg nl nid);
+  loads
+
 (* Gate delay and output slew under the configured model, at the given
    worst input slew.  The VGND bounce derate applies to either model. *)
-let gate_timing cfg nl iid ~in_slew =
+let gate_timing cfg nl ~loads iid ~in_slew =
   Metrics.incr m_arrival_evals;
   let cell = Netlist.cell nl iid in
   let load = match Netlist.output_net nl iid with
-    | Some out -> load_of_net cfg nl out
+    | Some out -> loads.(out)
     | None -> 0.0
   in
   let tech = Smt_cell.Library.tech (Netlist.lib nl) in
@@ -110,7 +120,7 @@ let data_input_pins cell = Func.input_names cell.Cell.kind
 
 (* Seed flip-flop Q arrivals from the clock; [mask] limits the work to a
    subset of flip-flops (None = all). *)
-let seed_sources cfg nl ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask =
+let seed_sources cfg nl ~loads ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask =
   Netlist.iter_nets nl (fun nid ->
       if Netlist.is_clock_net nl nid then begin
         at_max.(nid) <- 0.0;
@@ -128,7 +138,7 @@ let seed_sources cfg nl ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask =
       if include_ff && cell.Cell.kind = Func.Dff then
         match Netlist.pin_net nl iid "Q" with
         | Some q ->
-          let d, out_slew = gate_timing cfg nl iid ~in_slew:Nldm.default_input_slew in
+          let d, out_slew = gate_timing cfg nl ~loads iid ~in_slew:Nldm.default_input_slew in
           let lat = cfg.clock_latency iid in
           inst_delay.(iid) <- d;
           at_max.(q) <- lat +. d;
@@ -138,7 +148,7 @@ let seed_sources cfg nl ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask =
         | None -> ())
 
 (* Forward propagation restricted to instances passing [mask]. *)
-let forward cfg nl order ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_inst ~mask =
+let forward cfg nl order ~loads ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_inst ~mask =
   let pin_arrival_max nid pin =
     if at_max.(nid) = neg_infinity then cfg.input_arrival +. cfg.wire.Wire.net_delay nid pin
     else at_max.(nid) +. cfg.wire.Wire.net_delay nid pin
@@ -180,7 +190,7 @@ let forward cfg nl order ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_ins
             let in_slew =
               if !worst_slew > 0.0 then !worst_slew else Nldm.default_input_slew
             in
-            let d, out_slew = gate_timing cfg nl iid ~in_slew in
+            let d, out_slew = gate_timing cfg nl ~loads iid ~in_slew in
             let base_max = if !worst = neg_infinity then cfg.input_arrival else !worst in
             let base_min = if !earliest = infinity then cfg.input_arrival else !earliest in
             inst_delay.(iid) <- d;
@@ -277,11 +287,13 @@ let analyze cfg nl =
   let rat = Array.make nnets infinity in
   let from_net = Array.make nnets (-1) in
   let via_inst = Array.make nnets (-1) in
-  seed_sources cfg nl ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask:None;
-  forward cfg nl order ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_inst ~mask:None;
+  let loads = compute_loads cfg nl in
+  seed_sources cfg nl ~loads ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask:None;
+  forward cfg nl order ~loads ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_inst
+    ~mask:None;
   let eps = endpoints_and_rat cfg nl ~at_max ~at_min ~rat in
   backward cfg nl order ~rat ~inst_delay;
-  { cfg; nl; order; at_max; at_min; at_slew; inst_delay; rat; from_net; via_inst; eps }
+  { cfg; nl; order; loads; at_max; at_min; at_slew; inst_delay; rat; from_net; via_inst; eps }
 
 (* The downstream combinational cone of the changed instances, extended
    upstream by one step through load coupling: a changed cell's new input
@@ -320,12 +332,27 @@ let update t ~changed =
   let from_net = Array.copy t.from_net in
   let via_inst = Array.copy t.via_inst in
   let rat = Array.make (Array.length t.rat) infinity in
-  seed_sources cfg nl ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask:(Some mask);
-  forward cfg nl order ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_inst
+  (* A replaced cell changes the load of every net it pins (its new input
+     caps, or its holder cap); only those nets need re-folding.  A grown
+     netlist (shouldn't happen under [update]'s contract) falls back to a
+     full recompute rather than indexing out of bounds. *)
+  let loads =
+    if Netlist.net_count nl <> Array.length t.loads then compute_loads cfg nl
+    else begin
+      let loads = Array.copy t.loads in
+      List.iter
+        (fun iid ->
+          List.iter (fun (_, nid) -> loads.(nid) <- load_of_net cfg nl nid) (Netlist.conns nl iid))
+        changed;
+      loads
+    end
+  in
+  seed_sources cfg nl ~loads ~at_max ~at_min ~at_slew ~inst_delay ~via_inst ~mask:(Some mask);
+  forward cfg nl order ~loads ~at_max ~at_min ~at_slew ~inst_delay ~from_net ~via_inst
     ~mask:(Some mask);
   let eps = endpoints_and_rat cfg nl ~at_max ~at_min ~rat in
   backward cfg nl order ~rat ~inst_delay;
-  { t with at_max; at_min; at_slew; inst_delay; rat; from_net; via_inst; eps }
+  { t with loads; at_max; at_min; at_slew; inst_delay; rat; from_net; via_inst; eps }
 
 let arrival t nid = if t.at_max.(nid) = neg_infinity then t.cfg.input_arrival else t.at_max.(nid)
 

@@ -1,0 +1,60 @@
+let worker_key : int option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let worker_index () = Domain.DLS.get worker_key
+
+let default_jobs () =
+  match Sys.getenv_opt "SMT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Work distribution: an atomic next-job counter over an array of the
+   inputs, each worker writing into its job's slot of [results].  Slot
+   indexing is what makes the output order independent of scheduling. *)
+let map_parallel ~jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let results :
+      ('b, exn * Printexc.raw_backtrace) result option array =
+    Array.make n None
+  in
+  let next = Atomic.make 0 in
+  let worker w () =
+    Domain.DLS.set worker_key (Some w);
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+           (match f items.(i) with
+           | y -> Some (Ok y)
+           | exception e ->
+               Some (Error (e, Printexc.get_raw_backtrace ()))));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join domains;
+  (* Re-raise the first failure by input position, so which job's
+     exception escapes does not depend on scheduling. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | _ -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok y) -> y
+         | _ -> assert false (* every slot filled, no Error left *))
+       results)
+
+let map ~jobs f xs =
+  let n = List.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 || worker_index () <> None then List.map f xs
+  else map_parallel ~jobs f xs

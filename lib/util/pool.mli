@@ -1,0 +1,30 @@
+(** A small fixed pool of [Domain.t] workers for embarrassingly parallel
+    [map]s over independent jobs.
+
+    The pool is spawned per [map] call and joined before [map] returns, so
+    no domains outlive the call and there is nothing to shut down.  Results
+    come back in input order regardless of which worker ran which element,
+    and the first exception (by input position) a job raised is re-raised
+    on the caller with its original backtrace.
+
+    [map ~jobs:1] (or a single-element list) runs in place on the calling
+    domain — no spawn, byte-identical behaviour to [List.map].  Nested use
+    is supported by degradation: a [map] called from inside a worker runs
+    sequentially on that worker rather than spawning a second tier of
+    domains. *)
+
+val default_jobs : unit -> int
+(** Worker count to use when the caller expressed no preference: the
+    [SMT_JOBS] environment variable if set to a positive integer, else
+    [Domain.recommended_domain_count ()].  Always at least 1. *)
+
+val worker_index : unit -> int option
+(** [Some i] (0-based, [< jobs]) when called from inside a [map] worker,
+    [None] on the caller's domain.  Stable for the duration of one job and
+    of any nested (degraded) [map] it performs. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs], running up to
+    [jobs] applications concurrently on fresh domains.  Order-preserving;
+    [jobs] is clamped to [List.length xs]; [jobs <= 1], nested calls, and
+    lists shorter than 2 degrade to sequential in-place execution. *)
