@@ -11,7 +11,7 @@
 module Netlist = Smt_netlist.Netlist
 module Parser = Smt_netlist.Parser
 module Writer = Smt_netlist.Writer
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Nl_stats = Smt_netlist.Nl_stats
 module Optimize = Smt_netlist.Optimize
 module Equiv = Smt_sim.Equiv

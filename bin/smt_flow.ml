@@ -9,6 +9,8 @@
      smt_flow stages -c circuit_a
      smt_flow check -c circuit_a -t improved
      smt_flow check -c circuit_a -t improved --fault drop-switch --repair
+     smt_flow lint -t improved --jobs 4 --format sarif
+     smt_flow lint -c circuit_a --waivers waivers.txt --sarif lint.sarif
 
    Exit codes: 0 clean, 1 Error-severity violations (check, or run with a
    guard enabled), 2 usage errors. *)
@@ -25,6 +27,11 @@ module Drc = Smt_check.Drc
 module Repair = Smt_check.Repair
 module Violation = Smt_check.Violation
 module Fault = Smt_fault.Fault
+module Verify = Smt_verify.Verify
+module Rules = Smt_verify.Rules
+module Waiver = Smt_verify.Waiver
+module Sarif = Smt_verify.Sarif
+module J = Smt_obs.Obs_json
 
 open Cmdliner
 
@@ -543,13 +550,201 @@ let check_cmd =
       const run $ obs_term $ circuit_arg $ technique_opt_arg $ seed_arg $ fault_arg
       $ fault_seed_arg $ repair_arg)
 
+let lint_cmd =
+  let run obs circuits technique seed raw jobs format sarif_out waivers fault fault_seed =
+    let jobs = jobs_of jobs in
+    let circuits = match circuits with [] -> List.map fst Suite.all | cs -> cs in
+    let gens =
+      List.map
+        (fun name ->
+          match generator_of name with
+          | Ok g -> (name, g)
+          | Error e ->
+            prerr_endline e;
+            exit 2)
+        circuits
+    in
+    let t =
+      match technique_of technique with
+      | Ok t -> t
+      | Error e ->
+        prerr_endline e;
+        exit 2
+    in
+    (match format with
+    | "text" | "json" | "sarif" -> ()
+    | s ->
+      Printf.eprintf "unknown format %s (text|json|sarif)\n" s;
+      exit 2);
+    let wv =
+      match waivers with
+      | None -> []
+      | Some path -> (
+        match Waiver.load path with
+        | Ok w -> w
+        | Error e ->
+          Printf.eprintf "waivers: %s\n" e;
+          exit 2)
+    in
+    let fault =
+      match fault with
+      | None -> None
+      | Some fname -> (
+        match Fault.of_name fname with
+        | Some f -> Some f
+        | None ->
+          Printf.eprintf "unknown fault %s (try: %s)\n" fname
+            (String.concat ", " (List.map Fault.name Fault.all));
+          exit 2)
+    in
+    let suffix = if raw then "raw" else technique in
+    (* One workload per circuit; each job builds, runs the flow (unless
+       --raw), optionally injects a fault, and analyzes.  Par.map keeps
+       results — and therefore every output format — in input order, so
+       the report is byte-identical at any job count. *)
+    let process (name, gen) =
+      let nl = gen (lib ()) in
+      if not raw then
+        ignore (Flow.run ~options:{ Flow.default_options with Flow.seed } t nl);
+      let inj =
+        match fault with
+        | None -> None
+        | Some f -> (
+          match Fault.inject ~seed:fault_seed nl f with
+          | Some i -> Some (Fault.name f, i)
+          | None -> None)
+      in
+      let r = Verify.analyze nl in
+      let kept, waived = Waiver.apply wv r.Verify.findings in
+      ( { Sarif.wl_name = name ^ "/" ^ suffix; wl_findings = kept; wl_waived = waived },
+        inj )
+    in
+    let results = Smt_obs.Par.map ~jobs process gens in
+    List.iter
+      (fun ((wl : Sarif.workload), inj) ->
+        match inj with
+        | Some (fname, (i : Fault.injection)) ->
+          Printf.eprintf "%s: injected %s at %s: %s\n%!" wl.Sarif.wl_name fname
+            i.Fault.target i.Fault.detail
+        | None -> ())
+      results;
+    let workloads = List.map fst results in
+    let json_finding (f : Rules.finding) =
+      J.obj
+        [
+          ("rule", J.str f.Rules.rule.Rules.id);
+          ("severity", J.str (Rules.severity_name f.Rules.rule.Rules.severity));
+          ("location", J.str f.Rules.loc);
+          ("message", J.str f.Rules.message);
+          ("witness", J.arr (List.map J.str f.Rules.witness));
+        ]
+    in
+    (match format with
+    | "text" ->
+      List.iter
+        (fun (wl : Sarif.workload) ->
+          if wl.Sarif.wl_findings = [] && wl.Sarif.wl_waived = [] then
+            Printf.printf "%s: clean\n" wl.Sarif.wl_name
+          else begin
+            Printf.printf "%s: %s%s\n" wl.Sarif.wl_name
+              (Rules.summary wl.Sarif.wl_findings)
+              (match wl.Sarif.wl_waived with
+              | [] -> ""
+              | w -> Printf.sprintf ", %d waived" (List.length w));
+            List.iter
+              (fun f -> Printf.printf "  %s\n" (Rules.to_string f))
+              wl.Sarif.wl_findings;
+            List.iter
+              (fun (f, (e : Waiver.entry)) ->
+                Printf.printf "  waived (line %d): %s\n" e.Waiver.w_line
+                  (Rules.to_string f))
+              wl.Sarif.wl_waived
+          end)
+        workloads
+    | "json" ->
+      print_endline
+        (J.arr
+           (List.map
+              (fun (wl : Sarif.workload) ->
+                J.obj
+                  [
+                    ("workload", J.str wl.Sarif.wl_name);
+                    ("findings", J.arr (List.map json_finding wl.Sarif.wl_findings));
+                    ( "waived",
+                      J.arr (List.map (fun (f, _) -> json_finding f) wl.Sarif.wl_waived)
+                    );
+                  ])
+              workloads))
+    | _ -> print_endline (Sarif.render workloads));
+    (match sarif_out with
+    | Some path ->
+      J.to_file path (Sarif.render workloads);
+      Printf.eprintf "SARIF written to %s\n%!" path
+    | None -> ());
+    finish obs;
+    if List.exists (fun (wl : Sarif.workload) -> Rules.has_errors wl.Sarif.wl_findings) workloads
+    then exit 1
+  in
+  let circuits_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "circuit" ] ~docv:"NAME"
+          ~doc:"Circuit to lint (repeatable; default: every circuit in the suite).")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"Lint the raw synthesized netlist instead of a flow product.")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text|json|sarif.")
+  in
+  let sarif_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sarif" ] ~docv:"FILE"
+          ~doc:"Also write the SARIF 2.1.0 report to $(docv) (any --format).")
+  in
+  let waivers_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "waivers" ] ~docv:"FILE"
+          ~doc:"Waiver file: one '<rule-id> <location-glob>' per line; waived findings \
+                are suppressed from the exit code but kept, marked, in the reports.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"CLASS"
+          ~doc:"Inject one seeded fault after the flow, before the analysis.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed for the fault site choice.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Semantic standby verification: abstract interpretation of each circuit's \
+          sleep state (MTE asserted, clocks parked), reporting floating nets read by \
+          always-on logic, crowbar-risk inputs, useless holders, MTE polarity bugs, and \
+          floating retention-FF inputs.  Exits 1 when unwaived Error findings remain.")
+    Term.(
+      const run $ obs_term $ circuits_arg $ technique_arg $ seed_arg $ raw_arg $ jobs_arg
+      $ format_arg $ sarif_out_arg $ waivers_arg $ fault_arg $ fault_seed_arg)
+
 let main =
   Cmd.group
     (Cmd.info "smt_flow" ~version:"1.0.0"
        ~doc:"Selective multi-threshold CMOS design flows (DATE 2005 reproduction)")
     [
       run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; explain_cmd;
-      bench_snapshot_cmd; bench_compare_cmd; check_cmd; list_cmd;
+      bench_snapshot_cmd; bench_compare_cmd; check_cmd; lint_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

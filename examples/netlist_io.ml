@@ -7,7 +7,7 @@
 module Netlist = Smt_netlist.Netlist
 module Writer = Smt_netlist.Writer
 module Parser = Smt_netlist.Parser
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Nl_stats = Smt_netlist.Nl_stats
 module Placement = Smt_place.Placement
 module Parasitics = Smt_route.Parasitics

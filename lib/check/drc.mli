@@ -9,9 +9,10 @@
     sane widths), and data sanity (no NaN/negative delay, leakage, cap, or
     area on any cell in use).
 
-    Unlike [Smt_netlist.Check.validate], which returns bare strings, every
-    finding is a typed {!Violation.t} so callers can branch on severity and
-    class — the flow's guard mode and the fault-injection tests both do. *)
+    Every finding is a typed {!Violation.t} so callers can branch on
+    severity and class — the flow's guard mode and the fault-injection
+    tests both do.  The bare-string validator that used to live in
+    [Smt_netlist.Check] is now the thin {!validate} shim over [check]. *)
 
 type phase =
   | Pre_mt  (** before switch insertion: VGND ports must not exist yet *)
@@ -37,3 +38,11 @@ val check_library : Smt_cell.Library.t -> Violation.t list
 (** Data-sanity sweep over every cell of a library. *)
 
 val has_errors : Violation.t list -> bool
+
+val validate : ?phase:phase -> Smt_netlist.Netlist.t -> string list
+(** Legacy string view of [check]: the Error-severity findings rendered
+    with {!Violation.to_string} (empty list = well-formed).  Replaces the
+    retired [Smt_netlist.Check.validate]; the MTE fanout-cap advisory is
+    suppressed, matching the old validator's scope. *)
+
+val is_valid : ?phase:phase -> Smt_netlist.Netlist.t -> bool

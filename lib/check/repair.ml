@@ -134,13 +134,7 @@ let repair ?place ?(clamp_width = 10.0) nl violations =
           act "restyled %s to its VGND-port variant" (Netlist.inst_name nl iid)
         end)
       orphans;
-    let candidates =
-      List.filter
-        (fun sw ->
-          let w = (Netlist.cell nl sw).Cell.switch_width in
-          Float.is_finite w && w > 0.0)
-        (Netlist.switches nl)
-    in
+    let candidates = Walk.sane_switches nl in
     let candidates =
       if candidates <> [] then candidates
       else begin

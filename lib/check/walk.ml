@@ -1,0 +1,53 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+
+type vgnd_state =
+  | Ungated
+  | Gated of Netlist.inst_id
+  | Floating_vgnd
+  | Dead_switch of Netlist.inst_id
+
+let vgnd_state nl iid =
+  match (Netlist.cell nl iid).Cell.style with
+  | Vth.Plain | Vth.Mt_embedded | Vth.Mt_no_vgnd -> Ungated
+  | Vth.Mt_vgnd -> (
+    match Netlist.vgnd_switch nl iid with
+    | None -> Floating_vgnd
+    | Some sw -> if Netlist.is_dead nl sw then Dead_switch sw else Gated sw)
+
+type keeper_state =
+  | No_keeper
+  | Keeper of Netlist.inst_id
+  | Dead_keeper of Netlist.inst_id
+  | Not_a_holder of Netlist.inst_id
+
+let keeper_state nl nid =
+  match Netlist.holder_of nl nid with
+  | None -> No_keeper
+  | Some h ->
+    if Netlist.is_dead nl h then Dead_keeper h
+    else if (Netlist.cell nl h).Cell.kind <> Func.Holder then Not_a_holder h
+    else Keeper h
+
+let populated_switches nl =
+  List.filter_map
+    (fun (sw, members) -> if members <> [] then Some sw else None)
+    (Netlist.switch_groups nl)
+
+let sane_switches nl =
+  List.filter
+    (fun sw ->
+      let w = (Netlist.cell nl sw).Cell.switch_width in
+      Float.is_finite w && w > 0.0)
+    (Netlist.switches nl)
+
+let holder_pins nl =
+  let tbl = Hashtbl.create 97 in
+  Netlist.iter_insts nl (fun iid ->
+      if (Netlist.cell nl iid).Cell.kind = Func.Holder then
+        match Netlist.pin_net nl iid "Z" with
+        | Some nid -> if not (Hashtbl.mem tbl nid) then Hashtbl.add tbl nid iid
+        | None -> ());
+  tbl

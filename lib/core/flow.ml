@@ -19,12 +19,15 @@ module Par = Smt_obs.Par
 module Drc = Smt_check.Drc
 module Repair = Smt_check.Repair
 module Violation = Smt_check.Violation
+module Verify = Smt_verify.Verify
+module Rules = Smt_verify.Rules
 
 let m_runs = Metrics.counter "flow.runs"
 let m_stages = Metrics.counter "flow.stages"
 let m_stage_ms = Metrics.histogram "flow.stage_ms"
 let m_check_violations = Metrics.counter "check.violations"
 let m_check_repairs = Metrics.counter "check.repairs"
+let m_lint_findings = Metrics.counter "lint.findings"
 let m_degraded = Metrics.counter "flow.degraded"
 
 (* Stage names become metric-name components: spaces and punctuation to
@@ -289,7 +292,40 @@ let run_with_artifacts ?(options = default_options) technique nl =
                fe_stage = stage;
                fe_circuit = Netlist.design_name nl;
                fe_diagnostics = List.map Violation.to_string (Violation.errors vs);
-             })
+             });
+      (* Semantic standby verification rides the same guard: once the MT
+         support structure exists, the design must also sleep correctly
+         — structure first (above), values second, so a structurally
+         broken netlist fails on the precise structural message. *)
+      if !guard_phase = Drc.Post_mt then begin
+        let sem =
+          Trace.with_span "Flow.lint" ~args:[ ("stage", stage) ] (fun () ->
+              (Verify.analyze nl).Verify.findings)
+        in
+        let sem_fresh =
+          List.filter
+            (fun f ->
+              let key = Rules.to_string f in
+              if Hashtbl.mem seen_violations key then false
+              else begin
+                Hashtbl.add seen_violations key ();
+                true
+              end)
+            sem
+        in
+        if sem_fresh <> [] then begin
+          Metrics.incr m_lint_findings ~by:(List.length sem_fresh);
+          List.iter (fun f -> diag (stage ^ ": lint: " ^ Rules.to_string f)) sem_fresh
+        end;
+        if g = Guard_strict && Rules.has_errors sem then
+          raise
+            (Flow_error
+               {
+                 fe_stage = stage;
+                 fe_circuit = Netlist.design_name nl;
+                 fe_diagnostics = List.map Rules.to_string (Rules.errors sem);
+               })
+      end
   in
   let snapshot ?(cfg = base_cfg) ?(bounce = 0.0) name =
     let sta = Sta.analyze cfg nl in

@@ -2,8 +2,11 @@ module Netlist = Smt_netlist.Netlist
 module Nl_check = Smt_netlist.Check
 module Cell = Smt_cell.Cell
 module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+module Library = Smt_cell.Library
 module Rng = Smt_util.Rng
 module V = Smt_check.Violation
+module Rules = Smt_verify.Rules
 
 type fault =
   | Drop_switch
@@ -13,11 +16,14 @@ type fault =
   | Orphan_cluster
   | Zero_width_switch
   | Undrive_net
+  | Holder_wrong_net
+  | Invert_mte_polarity
 
 let all =
   [
     Drop_switch; Disconnect_holder; Poison_library; Break_mte_fanout;
-    Orphan_cluster; Zero_width_switch; Undrive_net;
+    Orphan_cluster; Zero_width_switch; Undrive_net; Holder_wrong_net;
+    Invert_mte_polarity;
   ]
 
 let name = function
@@ -28,6 +34,8 @@ let name = function
   | Orphan_cluster -> "orphan-cluster"
   | Zero_width_switch -> "zero-width-switch"
   | Undrive_net -> "undrive-net"
+  | Holder_wrong_net -> "holder-wrong-net"
+  | Invert_mte_polarity -> "invert-mte-polarity"
 
 let of_name s = List.find_opt (fun f -> String.equal (name f) s) all
 
@@ -39,12 +47,24 @@ let expected_codes = function
   | Orphan_cluster -> [ V.Unreachable_vgnd; V.Orphan_switch ]
   | Zero_width_switch -> [ V.Degenerate_switch ]
   | Undrive_net -> [ V.Undriven_net ]
+  | Holder_wrong_net | Invert_mte_polarity -> []
+
+(* Rule ids the semantic pass must report; referenced through the
+   catalog so a rule rename cannot silently break the mapping. *)
+let expected_rules = function
+  | Drop_switch | Poison_library | Break_mte_fanout | Orphan_cluster
+  | Zero_width_switch | Undrive_net ->
+    []
+  | Disconnect_holder -> [ Rules.float_into_awake.Rules.id ]
+  | Holder_wrong_net ->
+    [ Rules.float_into_awake.Rules.id; Rules.useless_holder.Rules.id ]
+  | Invert_mte_polarity -> [ Rules.mte_polarity.Rules.id ]
 
 let repairable = function
   | Drop_switch | Disconnect_holder | Poison_library | Break_mte_fanout
   | Orphan_cluster | Zero_width_switch ->
     true
-  | Undrive_net -> false
+  | Undrive_net | Holder_wrong_net | Invert_mte_polarity -> false
 
 type injection = {
   fault : fault;
@@ -58,10 +78,7 @@ let pick_opt rng = function
 
 (* Switches that actually gate MT-cells: dropping or detaching those is
    what makes the fault observable. *)
-let populated_switches nl =
-  List.filter_map
-    (fun (sw, members) -> if members <> [] then Some sw else None)
-    (Netlist.switch_groups nl)
+let populated_switches = Smt_check.Walk.populated_switches
 
 let inject ~seed nl fault =
   let rng = Rng.create (0x0fa17 + seed) in
@@ -151,3 +168,60 @@ let inject ~seed nl fault =
       in
       Netlist.disconnect nl iid out_pin;
       made net (Printf.sprintf "disconnected driver %s.%s" (Netlist.inst_name nl iid) out_pin))
+  | Holder_wrong_net -> (
+    (* Rewire a required keeper's Z pin to a net that never floats,
+       then restore the bookkeeping record on the original net.  Every
+       structural rule still passes — the record points at a live
+       HOLDER, all pins are connected — but the silicon follows the
+       wires: the recorded net is unguarded in standby.  Only a
+       value-level analysis working from the Z pin can see it. *)
+    let held = ref [] in
+    Netlist.iter_nets nl (fun nid ->
+        match Netlist.holder_of nl nid with
+        | Some h when Nl_check.holder_required nl nid && not (Netlist.is_dead nl h) ->
+          held := (nid, h) :: !held
+        | Some _ | None -> ());
+    match pick_opt rng (List.rev !held) with
+    | None -> None
+    | Some (nid, h) -> (
+      let dests = ref [] in
+      Netlist.iter_nets nl (fun d ->
+          if
+            d <> nid
+            && Netlist.holder_of nl d = None
+            && (not (Netlist.is_clock_net nl d))
+            &&
+            match Netlist.driver nl d with
+            | Some p -> not (Cell.is_mt (Netlist.cell nl p.Netlist.inst))
+            | None -> false
+          then dests := d :: !dests);
+      match pick_opt rng (List.rev !dests) with
+      | None -> None
+      | Some dest ->
+        Netlist.disconnect nl h "Z";
+        Netlist.connect nl h "Z" dest;
+        (* the wires now guard [dest]; the stale record still claims [nid] *)
+        Netlist.set_holder nl dest None;
+        Netlist.set_holder nl nid (Some h);
+        made (Netlist.net_name nl nid)
+          (Printf.sprintf "moved keeper %s to net %s; record still claims %s"
+             (Netlist.inst_name nl h) (Netlist.net_name nl dest)
+             (Netlist.net_name nl nid))))
+  | Invert_mte_polarity -> (
+    (* Splice an inverter into one switch's enable.  Structurally
+       flawless — every pin connected, the new net driven and read —
+       but that cluster's footer is on whenever the design sleeps. *)
+    match pick_opt rng (populated_switches nl) with
+    | None -> None
+    | Some sw -> (
+      match Netlist.pin_net nl sw "MTE" with
+      | None -> None
+      | Some m ->
+        let inv = Library.variant (Netlist.lib nl) Func.Inv Vth.High Vth.Plain in
+        let nname = Netlist.fresh_net nl "mte_n" in
+        let iname = Netlist.fresh_inst_name nl "mte_inv" in
+        ignore (Netlist.add_inst nl ~name:iname inv [ ("A", m); ("Z", nname) ]);
+        Netlist.disconnect nl sw "MTE";
+        Netlist.connect nl sw "MTE" nname;
+        made (Netlist.inst_name nl sw)
+          (Printf.sprintf "inverted enable polarity via %s" iname)))

@@ -1,14 +1,22 @@
-(** Seeded structural fault injection.
+(** Seeded fault injection.
 
     Each fault class corrupts a healthy post-MT design the way real flow
     bugs (or hand edits to an emitted netlist) do: a sleep switch vanishes,
     a holder is dropped, a library entry goes NaN, the MTE tree loses a
     branch, a whole cluster is orphaned, a footer degenerates to zero
     width, a net loses its driver.  The harness exists to prove the
-    checker's coverage: for every class, [expected_codes] lists the
-    {!Smt_check.Violation.code}s that [Smt_check.Drc.check] must report
-    after the injection, and [repairable] says whether
-    [Smt_check.Repair.repair] must then restore a clean report. *)
+    checkers' combined coverage: for every class, [expected_codes] lists
+    the {!Smt_check.Violation.code}s that [Smt_check.Drc.check] must
+    report after the injection, [expected_rules] lists the
+    {!Smt_verify.Rules} ids the semantic standby pass must report, and
+    [repairable] says whether [Smt_check.Repair.repair] must then restore
+    a clean report.
+
+    The last two classes are {e semantic-only}: the mutated netlist is
+    structurally flawless (every DRC rule passes), and only the
+    value-level standby analysis can see the bug — a keeper wired to the
+    wrong net behind an accurate-looking record, and a sleep switch whose
+    enable is inverted so its cluster never sleeps. *)
 
 type fault =
   | Drop_switch  (** remove a sleep switch out from under its members *)
@@ -18,6 +26,11 @@ type fault =
   | Orphan_cluster  (** detach every member of one cluster from its switch *)
   | Zero_width_switch  (** degrade a footer to zero width *)
   | Undrive_net  (** disconnect a driving output, leaving sinks floating *)
+  | Holder_wrong_net
+      (** rewire a required keeper's Z pin to a safe net, keeping the
+          [holder_of] record on the original — DRC-invisible *)
+  | Invert_mte_polarity
+      (** splice an inverter into one switch's enable — DRC-invisible *)
 
 val all : fault list
 
@@ -25,8 +38,15 @@ val name : fault -> string
 val of_name : string -> fault option
 
 val expected_codes : fault -> Smt_check.Violation.code list
-(** Violation classes the checker must report once this fault is live; at
-    least one of them must appear (test-enforced). *)
+(** Violation classes the structural checker must report once this fault
+    is live; at least one of them must appear (test-enforced).  Empty for
+    the semantic-only classes — and the tests also enforce that
+    emptiness: the DRC must {e not} grow errors on those. *)
+
+val expected_rules : fault -> string list
+(** {!Smt_verify.Rules} ids the semantic pass must report once this
+    fault is live; at least one must appear (test-enforced).  Empty when
+    only the structural checker is guaranteed to see the class. *)
 
 val repairable : fault -> bool
 (** Whether the repair pass must be able to clear every expected violation

@@ -1,8 +1,5 @@
 module Cell = Smt_cell.Cell
-module Func = Smt_cell.Func
 module Vth = Smt_cell.Vth
-
-type phase = Pre_mt | Post_mt
 
 let mt_inst nl iid = Cell.is_mt (Netlist.cell nl iid)
 
@@ -21,79 +18,3 @@ let holder_required nl nid =
     && (Netlist.is_po nl nid
        || List.exists (fun (p : Netlist.pin) -> not (mt_inst nl p.Netlist.inst))
             (Netlist.sinks nl nid))
-
-let required_pins (cell : Cell.t) =
-  let logic = Array.to_list (Func.input_names cell.Cell.kind) in
-  let mte = if Vth.style_equal cell.Cell.style Vth.Mt_embedded then [ "MTE" ] else [] in
-  let extra =
-    match cell.Cell.kind with
-    | Func.Dff -> [ "CK" ]
-    | Func.Sleep_switch -> [ "MTE" ]
-    | Func.Holder -> [ "MTE"; "Z" ]
-    | Func.Inv | Func.Buf | Func.Clkbuf | Func.Nand2 | Func.Nand3 | Func.Nand4
-    | Func.Nor2 | Func.Nor3 | Func.And2 | Func.And3 | Func.Or2 | Func.Or3
-    | Func.Xor2 | Func.Xnor2 | Func.Aoi21 | Func.Oai21 | Func.Mux2 ->
-      []
-  in
-  logic @ extra @ mte
-
-let validate ?(phase = Pre_mt) nl =
-  let problems = ref [] in
-  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
-  (* nets: drivers and loads *)
-  Netlist.iter_nets nl (fun nid ->
-      let name = Netlist.net_name nl nid in
-      let has_driver = Netlist.driver nl nid <> None || Netlist.is_pi nl nid in
-      let has_load = Netlist.sinks nl nid <> [] || Netlist.is_po nl nid in
-      if (not has_driver) && has_load then report "net %s has loads but no driver" name;
-      if has_driver && not has_load then report "net %s is dangling (no load)" name;
-      match Netlist.holder_of nl nid with
-      | None -> ()
-      | Some h ->
-        if Netlist.is_dead nl h then report "net %s holder is a removed instance" name
-        else if (Netlist.cell nl h).Cell.kind <> Func.Holder then
-          report "net %s keeper %s is not a HOLDER" name (Netlist.inst_name nl h));
-  (* instances: pin completeness *)
-  Netlist.iter_insts nl (fun iid ->
-      let cell = Netlist.cell nl iid in
-      let name = Netlist.inst_name nl iid in
-      List.iter
-        (fun pin ->
-          if Netlist.pin_net nl iid pin = None then
-            report "instance %s pin %s is unconnected" name pin)
-        (required_pins cell);
-      (match Func.output_names cell.Cell.kind with
-      | [||] -> ()
-      | outs ->
-        if Netlist.pin_net nl iid outs.(0) = None then
-          report "instance %s output %s is unconnected" name outs.(0));
-      match phase with
-      | Pre_mt ->
-        (match cell.Cell.style with
-        | Vth.Mt_vgnd ->
-          report "instance %s already has a VGND port before switch insertion" name
-        | Vth.Plain | Vth.Mt_embedded | Vth.Mt_no_vgnd -> ())
-      | Post_mt -> (
-        match cell.Cell.style with
-        | Vth.Mt_vgnd ->
-          (match Netlist.vgnd_switch nl iid with
-          | None -> report "MT-cell %s has a floating VGND port" name
-          | Some sw ->
-            if Netlist.is_dead nl sw then report "MT-cell %s hangs from removed switch" name)
-        | Vth.Mt_no_vgnd ->
-          report "instance %s still lacks its VGND port after switch insertion" name
-        | Vth.Plain | Vth.Mt_embedded -> ()));
-  (* holder rule, post-MT only *)
-  (match phase with
-  | Pre_mt -> ()
-  | Post_mt ->
-    Netlist.iter_nets nl (fun nid ->
-        if holder_required nl nid && Netlist.holder_of nl nid = None then
-          report "net %s needs an output holder (MT driver, non-MT fanout)"
-            (Netlist.net_name nl nid)));
-  (* combinational cycles *)
-  (try ignore (Netlist.topo_order nl)
-   with Netlist.Combinational_cycle where -> report "combinational cycle through %s" where);
-  List.rev !problems
-
-let is_valid ?phase nl = validate ?phase nl = []

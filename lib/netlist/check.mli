@@ -1,19 +1,12 @@
-(** Structural validation of a netlist.
+(** The netlist-level piece of the paper's holder rule.
 
-    [validate] returns human-readable problems (empty list means the
-    netlist is well-formed).  The MT-specific rules implement the paper's
-    invariants: after switch insertion every VGND-port MT-cell must hang
-    from a sleep switch, and every net driven by an MT-cell whose value
-    must survive standby (i.e. with at least one non-MT sink) must carry an
-    output holder. *)
-
-type phase =
-  | Pre_mt  (** before switch insertion: no VGND connections expected *)
-  | Post_mt  (** after switch insertion: VGND and holder rules enforced *)
-
-val validate : ?phase:phase -> Netlist.t -> string list
-
-val is_valid : ?phase:phase -> Netlist.t -> bool
+    The full structural validator that used to live here returned bare
+    strings; it has been re-expressed on typed violations as
+    [Smt_check.Drc.check], with [Smt_check.Drc.validate] as the
+    string-compatible shim.  What remains is the one predicate the MT
+    transformations themselves need while they run (switch insertion,
+    holder minimization, repair), which must stay below [lib/check] in
+    the dependency order. *)
 
 val holder_required : Netlist.t -> Netlist.net_id -> bool
 (** The paper's rule: an output holder is unnecessary exactly when all

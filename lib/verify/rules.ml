@@ -1,0 +1,91 @@
+type severity = Error | Warn
+
+type rule = {
+  id : string;
+  severity : severity;
+  summary : string;
+  repairable : bool;
+}
+
+let float_into_awake =
+  {
+    id = "float-into-awake";
+    severity = Error;
+    summary = "floating net reaches always-on logic or a primary output in standby";
+    repairable = false;
+  }
+
+let crowbar_risk =
+  {
+    id = "crowbar-risk";
+    severity = Warn;
+    summary = "powered gate input may sit at an intermediate voltage in standby";
+    repairable = false;
+  }
+
+let useless_holder =
+  {
+    id = "useless-holder";
+    severity = Warn;
+    summary = "holder keeps a net that never floats (or that nothing awake reads)";
+    repairable = false;
+  }
+
+let mte_polarity =
+  {
+    id = "mte-polarity";
+    severity = Error;
+    summary = "MTE control pin is 0 in standby: inverted polarity or constant disable";
+    repairable = false;
+  }
+
+let mte_undetermined =
+  {
+    id = "mte-undetermined";
+    severity = Error;
+    summary = "MTE control pin does not evaluate to a constant in standby";
+    repairable = false;
+  }
+
+let retention_input_float =
+  {
+    id = "retention-input-float";
+    severity = Error;
+    summary = "retention flip-flop data input floats in standby";
+    repairable = false;
+  }
+
+let all =
+  [
+    float_into_awake; crowbar_risk; useless_holder; mte_polarity; mte_undetermined;
+    retention_input_float;
+  ]
+
+let find id = List.find_opt (fun r -> String.equal r.id id) all
+
+let severity_name = function Error -> "error" | Warn -> "warning"
+
+type finding = {
+  rule : rule;
+  loc : string;
+  message : string;
+  witness : string list;
+}
+
+let to_string f =
+  let via =
+    match f.witness with
+    | [] -> ""
+    | steps -> Printf.sprintf " [via %s]" (String.concat " -> " steps)
+  in
+  Printf.sprintf "%s %s @ %s: %s%s"
+    (severity_name f.rule.severity)
+    f.rule.id f.loc f.message via
+
+let errors fs = List.filter (fun f -> f.rule.severity = Error) fs
+let warnings fs = List.filter (fun f -> f.rule.severity = Warn) fs
+let has_errors fs = errors fs <> []
+
+let summary fs =
+  Printf.sprintf "%d errors, %d warnings" (List.length (errors fs))
+    (List.length (warnings fs))

@@ -1,0 +1,65 @@
+(** The semantic rule catalog and its findings.
+
+    Rule ids are stable, kebab-case, and public API: waiver files match
+    on them, [lib/fault]'s semantic fault classes name them in
+    [expected_rules], and the SARIF export publishes them as
+    [reportingDescriptor]s.  Renaming one is a breaking change. *)
+
+type severity = Error | Warn
+
+type rule = {
+  id : string;  (** stable kebab-case identifier *)
+  severity : severity;
+  summary : string;  (** one line, shown in listings and SARIF *)
+  repairable : bool;
+      (** whether [Smt_check.Repair] knows a fix; semantic findings
+          encode design intent the repair pass cannot guess, so today
+          the whole catalog is unrepairable *)
+}
+
+val float_into_awake : rule
+(** A net floats in standby and is read by always-on logic or exposed on
+    a primary output — the paper's "unexpected power" hazard. *)
+
+val crowbar_risk : rule
+(** A powered gate input may be at an intermediate voltage in standby
+    (value [top]): both halves of its input stage can conduct. *)
+
+val useless_holder : rule
+(** A holder keeps a net that never floats, or that only floating logic
+    reads — area spent on nothing. *)
+
+val mte_polarity : rule
+(** A sleep switch, holder, or embedded MT-cell sees MTE = 0 while the
+    design sleeps: inverted enable polarity or a constant disable. *)
+
+val mte_undetermined : rule
+(** An MTE control pin does not evaluate to a constant in standby. *)
+
+val retention_input_float : rule
+(** A retention flip-flop's data input floats in standby: the saved
+    state would be restored into corrupted surroundings. *)
+
+val all : rule list
+val find : string -> rule option
+
+val severity_name : severity -> string
+(** ["error" | "warning"]. *)
+
+type finding = {
+  rule : rule;
+  loc : string;  (** ["net:<name>"] or ["inst:<name>"] *)
+  message : string;
+  witness : string list;
+      (** propagation path, origin first, as [net:]/[inst:] steps *)
+}
+
+val to_string : finding -> string
+(** One line: [severity rule-id @ loc: message \[via a -> b\]]. *)
+
+val errors : finding list -> finding list
+val warnings : finding list -> finding list
+val has_errors : finding list -> bool
+
+val summary : finding list -> string
+(** ["N errors, M warnings"]. *)

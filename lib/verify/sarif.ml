@@ -1,0 +1,113 @@
+module J = Smt_obs.Obs_json
+
+type workload = {
+  wl_name : string;
+  wl_findings : Rules.finding list;
+  wl_waived : (Rules.finding * Waiver.entry) list;
+}
+
+let sarif_level (s : Rules.severity) =
+  match s with Rules.Error -> "error" | Rules.Warn -> "warning"
+
+let rule_index (r : Rules.rule) =
+  let rec go i = function
+    | [] -> 0
+    | x :: rest -> if String.equal x.Rules.id r.Rules.id then i else go (i + 1) rest
+  in
+  go 0 Rules.all
+
+let descriptor (r : Rules.rule) =
+  J.obj
+    [
+      ("id", J.str r.Rules.id);
+      ( "shortDescription",
+        J.obj [ ("text", J.str r.Rules.summary) ] );
+      ( "defaultConfiguration",
+        J.obj [ ("level", J.str (sarif_level r.Rules.severity)) ] );
+      ( "properties",
+        J.obj [ ("repairable", J.boolean r.Rules.repairable) ] );
+    ]
+
+let logical_location ~wl fqn =
+  J.obj
+    [
+      ( "logicalLocations",
+        J.arr [ J.obj [ ("fullyQualifiedName", J.str (wl ^ "/" ^ fqn)); ("kind", J.str "element") ] ] );
+    ]
+
+let result ~wl ?waived_by (f : Rules.finding) =
+  let base =
+    [
+      ("ruleId", J.str f.Rules.rule.Rules.id);
+      ("ruleIndex", string_of_int (rule_index f.Rules.rule));
+      ("level", J.str (sarif_level f.Rules.rule.Rules.severity));
+      ("message", J.obj [ ("text", J.str f.Rules.message) ]);
+      ("locations", J.arr [ logical_location ~wl f.Rules.loc ]);
+    ]
+  in
+  let witness =
+    match f.Rules.witness with
+    | [] -> []
+    | steps ->
+      [ ("relatedLocations", J.arr (List.map (logical_location ~wl) steps)) ]
+  in
+  let suppression =
+    match waived_by with
+    | None -> []
+    | Some (e : Waiver.entry) ->
+      [
+        ( "suppressions",
+          J.arr
+            [
+              J.obj
+                [
+                  ("kind", J.str "external");
+                  ( "justification",
+                    J.str
+                      (Printf.sprintf "waiver line %d: %s %s" e.Waiver.w_line
+                         e.Waiver.w_rule e.Waiver.w_loc) );
+                ];
+            ] );
+      ]
+  in
+  J.obj (base @ witness @ suppression)
+
+let render workloads =
+  let results =
+    List.concat_map
+      (fun wl ->
+        List.map (result ~wl:wl.wl_name) wl.wl_findings
+        @ List.map
+            (fun (f, e) -> result ~wl:wl.wl_name ~waived_by:e f)
+            wl.wl_waived)
+      workloads
+  in
+  J.obj
+    [
+      ( "$schema",
+        J.str
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("version", J.str "2.1.0");
+      ( "runs",
+        J.arr
+          [
+            J.obj
+              [
+                ( "tool",
+                  J.obj
+                    [
+                      ( "driver",
+                        J.obj
+                          [
+                            ("name", J.str "smt_flow-lint");
+                            ("version", J.str "1.0.0");
+                            ( "informationUri",
+                              J.str "https://example.invalid/smt_flow" );
+                            ("rules", J.arr (List.map descriptor Rules.all));
+                          ] );
+                    ] );
+                ("results", J.arr results);
+              ];
+          ] );
+    ]

@@ -1,0 +1,22 @@
+(** SARIF 2.1.0 export of semantic findings.
+
+    One run, driver ["smt_flow-lint"], the whole {!Rules} catalog as
+    [reportingDescriptor]s, one [result] per finding.  Findings are
+    netlist objects rather than file regions, so locations are
+    [logicalLocations] with a [fullyQualifiedName] of
+    ["<workload>/net:<name>"] (or [inst:]); the witness path rides
+    along as a [relatedLocations] sequence.  Waived findings are kept
+    in the log with an [external] suppression, so a waiver remains
+    auditable in the artifact.
+
+    Output is deterministic: no timestamps, no absolute paths, ordering
+    as given — byte-identical across [--jobs] counts. *)
+
+type workload = {
+  wl_name : string;  (** e.g. ["circuit_a/improved"] *)
+  wl_findings : Rules.finding list;
+  wl_waived : (Rules.finding * Waiver.entry) list;
+}
+
+val render : workload list -> string
+(** The complete SARIF JSON document. *)

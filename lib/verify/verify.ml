@@ -1,0 +1,446 @@
+module Netlist = Smt_netlist.Netlist
+module Cell = Smt_cell.Cell
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+module Library = Smt_cell.Library
+module Walk = Smt_check.Walk
+module Metrics = Smt_obs.Metrics
+module Trace = Smt_obs.Trace
+module L = Lattice
+
+let m_runs = Metrics.counter "lint.runs"
+let m_transfers = Metrics.counter "lint.transfers"
+let m_widened = Metrics.counter "lint.widened"
+
+type result = {
+  findings : Rules.finding list;
+  values : (string * L.v) list;
+  transfers : int;
+  widened : int;
+}
+
+(* Witness paths are net:/inst: steps, origin first; long chains keep
+   the origin (where the float is born) and elide the middle. *)
+let max_witness = 12
+
+let extend_path base steps =
+  let p = base @ steps in
+  if List.length p <= max_witness then p
+  else
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> [ "..." ]
+    in
+    take (max_witness - 1) p @ [ List.nth p (List.length p - 1) ]
+
+type state = {
+  nl : Netlist.t;
+  (* per-net effective value (after any holder), None = bottom *)
+  value : L.v option array;
+  (* per-net driver value before the holder is applied *)
+  raw : L.v option array;
+  path : string list array;
+  holders : (Netlist.net_id, Netlist.inst_id) Hashtbl.t;
+  (* net -> instances to re-run when the net's value changes *)
+  deps : Netlist.inst_id list array;
+  (* net -> held nets to re-settle when this (holder-MTE) net changes *)
+  holder_deps : Netlist.net_id list array;
+  queue : Netlist.inst_id Queue.t;
+  queued : bool array;
+  mutable transfers : int;
+}
+
+let enqueue st iid =
+  if not st.queued.(iid) then begin
+    st.queued.(iid) <- true;
+    Queue.push iid st.queue
+  end
+
+let rec enqueue_deps st nid =
+  List.iter (enqueue st) st.deps.(nid);
+  List.iter
+    (fun held ->
+      if st.raw.(held) <> None then settle st held)
+    st.holder_deps.(nid)
+
+(* Effective value of [nid] given its raw driver value: the holder wired
+   to the net (if any) keeps a floating level when its own enable is 1.
+   None = the holder's enable is not known yet, try again later. *)
+and holder_view st nid rv =
+  match Hashtbl.find_opt st.holders nid with
+  | None -> Some rv
+  | Some h -> (
+    match Netlist.pin_net st.nl h "MTE" with
+    | None -> Some rv (* inert keeper; the DRC flags the floating pin *)
+    | Some m -> (
+      match st.value.(m) with
+      | None -> None
+      | Some L.One -> Some (match rv with L.Float -> L.Held | v -> v)
+      | Some L.Zero -> Some rv (* keeper disabled in standby *)
+      | Some (L.Held | L.Float | L.Top) ->
+        (* enable undetermined: a float may or may not be kept *)
+        Some (if L.may_float rv then L.Top else rv)))
+
+and settle st nid =
+  match st.raw.(nid) with
+  | None -> ()
+  | Some rv -> (
+    match holder_view st nid rv with
+    | None -> ()
+    | Some eff ->
+      let old = st.value.(nid) in
+      let nv = match L.bot_join old eff with Some v -> v | None -> eff in
+      if old <> Some nv then begin
+        st.value.(nid) <- Some nv;
+        enqueue_deps st nid
+      end)
+
+let set_raw st nid v path =
+  let old = st.raw.(nid) in
+  let nv = match L.bot_join old v with Some x -> x | None -> v in
+  if old <> Some nv then begin
+    st.raw.(nid) <- Some nv;
+    st.path.(nid) <- path;
+    settle st nid
+  end
+
+(* Cells whose output the worklist computes: combinational logic.
+   Flip-flop outputs are standby sources (seeded Held), switches and
+   holders have no logic output. *)
+let transferable kind =
+  match kind with
+  | Func.Dff | Func.Sleep_switch | Func.Holder -> false
+  | _ -> true
+
+let net_token nl nid = "net:" ^ Netlist.net_name nl nid
+let inst_token nl iid = "inst:" ^ Netlist.inst_name nl iid
+
+(* How the gate is supplied in standby. *)
+type supply =
+  | Powered  (** true rails: evaluates *)
+  | Cut  (** virtual ground open: output floats *)
+  | Internally_held  (** embedded MT-cell asleep: private holder drives *)
+  | Unknown_power of Netlist.net_id  (** enable not constant; net is the witness *)
+  | Defer_supply
+
+let supply_of st iid (cell : Cell.t) =
+  match cell.Cell.style with
+  | Vth.Plain -> Powered
+  | Vth.Mt_no_vgnd -> Cut (* no path to ground at all *)
+  | Vth.Mt_embedded -> (
+    match Netlist.pin_net st.nl iid "MTE" with
+    | None -> Powered (* enable floating: DRC territory; logic still wired *)
+    | Some m -> (
+      match st.value.(m) with
+      | None -> Defer_supply
+      | Some L.One -> Internally_held
+      | Some L.Zero -> Powered
+      | Some (L.Held | L.Float | L.Top) -> Unknown_power m))
+  | Vth.Mt_vgnd -> (
+    match Walk.vgnd_state st.nl iid with
+    | Walk.Ungated -> Powered (* unreachable for this style *)
+    | Walk.Floating_vgnd | Walk.Dead_switch _ -> Cut
+    | Walk.Gated sw -> (
+      match Netlist.pin_net st.nl sw "MTE" with
+      | None -> Unknown_power (Option.get (Netlist.output_net st.nl iid))
+      | Some m -> (
+        match st.value.(m) with
+        | None -> Defer_supply
+        | Some L.One -> Cut (* switch off: sleeping as designed *)
+        | Some L.Zero -> Powered (* switch stuck on: mte-polarity finding *)
+        | Some (L.Held | L.Float | L.Top) -> Unknown_power m)))
+
+let transfer st iid =
+  let cell = Netlist.cell st.nl iid in
+  match Netlist.output_net st.nl iid with
+  | None -> ()
+  | Some out -> (
+    st.transfers <- st.transfers + 1;
+    match supply_of st iid cell with
+    | Defer_supply -> ()
+    | Cut ->
+      set_raw st out
+        (L.Float)
+        [ inst_token st.nl iid ^ " (VGND cut in standby)"; net_token st.nl out ]
+    | Internally_held ->
+      set_raw st out L.Held
+        [ inst_token st.nl iid ^ " (embedded holder)"; net_token st.nl out ]
+    | Unknown_power m ->
+      set_raw st out L.Top
+        (extend_path st.path.(m)
+           [ inst_token st.nl iid ^ " (enable undetermined)"; net_token st.nl out ])
+    | Powered ->
+      let names = Func.input_names cell.Cell.kind in
+      let n = Array.length names in
+      let ins = Array.make n L.Top in
+      let nets = Array.make n None in
+      let ready = ref true in
+      for i = 0 to n - 1 do
+        match Netlist.pin_net st.nl iid names.(i) with
+        | None -> ins.(i) <- L.Float (* an unconnected gate input floats *)
+        | Some nid -> (
+          nets.(i) <- Some nid;
+          match st.value.(nid) with
+          | None -> ready := false
+          | Some v -> ins.(i) <- v)
+      done;
+      if !ready then begin
+        let v = L.eval cell.Cell.kind ins in
+        (* witness: the first possibly-floating input when contaminated,
+           else the first input *)
+        let pick pred =
+          let r = ref None in
+          for i = n - 1 downto 0 do
+            match nets.(i) with
+            | Some nid when pred ins.(i) -> r := Some nid
+            | Some _ | None -> ()
+          done;
+          !r
+        in
+        let source =
+          match (L.may_float v, pick L.may_float) with
+          | true, (Some _ as s) -> s
+          | _ -> pick (fun _ -> true)
+        in
+        let base = match source with Some nid -> st.path.(nid) | None -> [] in
+        set_raw st out
+          v
+          (extend_path base [ inst_token st.nl iid; net_token st.nl out ])
+      end)
+
+let seed_value st nid v note =
+  set_raw st nid v [ net_token st.nl nid ^ note ]
+
+let analyze nl =
+  Trace.with_span "Verify.analyze" ~args:[ ("circuit", Netlist.design_name nl) ]
+  @@ fun () ->
+  Metrics.incr m_runs;
+  let nn = Netlist.net_count nl in
+  let ni = Netlist.inst_count nl in
+  let st =
+    {
+      nl;
+      value = Array.make nn None;
+      raw = Array.make nn None;
+      path = Array.make nn [];
+      holders = Walk.holder_pins nl;
+      deps = Array.make nn [];
+      holder_deps = Array.make nn [];
+      queue = Queue.create ();
+      queued = Array.make ni false;
+      transfers = 0;
+    }
+  in
+  (* --- dependency edges --- *)
+  let add_dep nid iid = st.deps.(nid) <- iid :: st.deps.(nid) in
+  Netlist.iter_insts nl (fun iid ->
+      let cell = Netlist.cell nl iid in
+      if transferable cell.Cell.kind then begin
+        Array.iter
+          (fun pin ->
+            match Netlist.pin_net nl iid pin with
+            | Some nid -> add_dep nid iid
+            | None -> ())
+          (Func.input_names cell.Cell.kind);
+        (match cell.Cell.style with
+        | Vth.Mt_embedded -> (
+          match Netlist.pin_net nl iid "MTE" with
+          | Some m -> add_dep m iid
+          | None -> ())
+        | Vth.Mt_vgnd -> (
+          (* the member re-evaluates when its switch's enable changes *)
+          match Walk.vgnd_state nl iid with
+          | Walk.Gated sw -> (
+            match Netlist.pin_net nl sw "MTE" with
+            | Some m -> add_dep m iid
+            | None -> ())
+          | _ -> ())
+        | Vth.Plain | Vth.Mt_no_vgnd -> ())
+      end);
+  (* a holder's enable gates the effective value of the net its Z pin
+     touches: re-settle that net when the enable net moves *)
+  Hashtbl.iter
+    (fun nid h ->
+      match Netlist.pin_net nl h "MTE" with
+      | Some m -> st.holder_deps.(m) <- nid :: st.holder_deps.(m)
+      | None -> ())
+    st.holders;
+  for nid = 0 to nn - 1 do
+    st.deps.(nid) <- List.rev st.deps.(nid);
+    st.holder_deps.(nid) <- List.rev st.holder_deps.(nid)
+  done;
+  (* --- seeds --- *)
+  let mte_net = Netlist.find_net nl "MTE" in
+  Netlist.iter_nets nl (fun nid ->
+      if Netlist.is_pi nl nid then
+        if mte_net = Some nid then seed_value st nid L.One " (MTE=1 in standby)"
+        else if Netlist.is_clock_net nl nid then
+          seed_value st nid L.Zero " (clock parked low)"
+        else seed_value st nid L.Held " (primary input, frozen)"
+      else if Netlist.driver nl nid = None then
+        seed_value st nid L.Float " (no driver)");
+  Netlist.iter_insts nl (fun iid ->
+      let cell = Netlist.cell nl iid in
+      if cell.Cell.kind = Func.Dff then
+        match Netlist.output_net nl iid with
+        | Some q ->
+          set_raw st q L.Held [ inst_token nl iid ^ " (flip-flop state)"; net_token nl q ]
+        | None -> ());
+  (* --- fixpoint --- *)
+  Netlist.iter_insts nl (fun iid ->
+      if transferable (Netlist.cell nl iid).Cell.kind then enqueue st iid);
+  let widened = ref 0 in
+  let drained = ref false in
+  while not !drained do
+    while not (Queue.is_empty st.queue) do
+      let iid = Queue.pop st.queue in
+      st.queued.(iid) <- false;
+      transfer st iid
+    done;
+    (* widening: anything still bottom sits in (or behind) a
+       combinational cycle the deferring transfers cannot enter; force
+       those nets to Top and resume until nothing is bottom *)
+    let bottoms = ref [] in
+    Netlist.iter_nets nl (fun nid ->
+        if st.value.(nid) = None then bottoms := nid :: !bottoms);
+    match List.rev !bottoms with
+    | [] -> drained := true
+    | nids ->
+      widened := !widened + List.length nids;
+      List.iter
+        (fun nid ->
+          st.value.(nid) <- Some L.Top;
+          if st.path.(nid) = [] then
+            st.path.(nid) <- [ net_token nl nid ^ " (widened: cyclic)" ];
+          enqueue_deps st nid)
+        nids
+  done;
+  Metrics.incr m_transfers ~by:st.transfers;
+  Metrics.incr m_widened ~by:!widened;
+  (* --- findings --- *)
+  let out = ref [] in
+  let emit rule loc ?(witness = []) fmt =
+    Printf.ksprintf
+      (fun message -> out := { Rules.rule; loc; message; witness } :: !out)
+      fmt
+  in
+  let value nid = match st.value.(nid) with Some v -> v | None -> L.Top in
+  let awake_reader (p : Netlist.pin) =
+    let c = Netlist.cell nl p.Netlist.inst in
+    (not (Cell.is_mt c)) && not (Func.is_infrastructure c.Cell.kind)
+  in
+  (* net rules *)
+  Netlist.iter_nets nl (fun nid ->
+      let name = Netlist.net_name nl nid in
+      let loc = "net:" ^ name in
+      let v = value nid in
+      let awake = List.filter awake_reader (Netlist.sinks nl nid) in
+      (match v with
+      | L.Float ->
+        if Netlist.is_po nl nid then
+          emit Rules.float_into_awake loc ~witness:st.path.(nid)
+            "net floats in standby and is a primary output"
+        else if awake <> [] then
+          let r = List.hd awake in
+          emit Rules.float_into_awake loc ~witness:st.path.(nid)
+            "net floats in standby; %d always-on sink%s (first: %s.%s)"
+            (List.length awake)
+            (if List.length awake = 1 then "" else "s")
+            (Netlist.inst_name nl r.Netlist.inst)
+            r.Netlist.pin_name
+      | L.Top ->
+        if Netlist.is_po nl nid then
+          emit Rules.crowbar_risk loc ~witness:st.path.(nid)
+            "primary output may float in standby (value top)"
+      | L.Zero | L.One | L.Held -> ());
+      match Hashtbl.find_opt st.holders nid with
+      | None -> ()
+      | Some h -> (
+        let hname = Netlist.inst_name nl h in
+        match st.raw.(nid) with
+        | Some ((L.Zero | L.One | L.Held) as r) ->
+          emit Rules.useless_holder loc
+            "holder %s keeps a net that never floats (driver value %s in standby)" hname
+            (L.to_string r)
+        | Some L.Float when (not (Netlist.is_po nl nid)) && awake = [] ->
+          emit Rules.useless_holder loc
+            "holder %s keeps a net only floating MT logic reads" hname
+        | Some (L.Float | L.Top) | None -> ()));
+  (* instance rules *)
+  let mte_pin_check iid what =
+    match Netlist.pin_net nl iid what with
+    | None -> () (* DRC: floating required pin *)
+    | Some m -> (
+      let loc = "inst:" ^ Netlist.inst_name nl iid in
+      let kind = Netlist.cell nl iid in
+      let role =
+        match kind.Cell.kind with
+        | Func.Sleep_switch -> "sleep switch"
+        | Func.Holder -> "holder"
+        | _ -> "embedded MT-cell"
+      in
+      match value m with
+      | L.One -> ()
+      | L.Zero ->
+        emit Rules.mte_polarity loc ~witness:st.path.(m)
+          "%s enable is 0 in standby (net %s): it never sleeps%s" role
+          (Netlist.net_name nl m)
+          (match kind.Cell.kind with
+          | Func.Holder -> "; the net it keeps is unguarded"
+          | _ -> "")
+      | (L.Held | L.Float | L.Top) as v ->
+        emit Rules.mte_undetermined loc ~witness:st.path.(m)
+          "%s enable is %s in standby (net %s), not a constant" role (L.to_string v)
+          (Netlist.net_name nl m))
+  in
+  Netlist.iter_insts nl (fun iid ->
+      let cell = Netlist.cell nl iid in
+      (match cell.Cell.kind with
+      | Func.Sleep_switch | Func.Holder -> mte_pin_check iid "MTE"
+      | Func.Dff ->
+        if Library.is_retention cell then begin
+          match Netlist.pin_net nl iid "D" with
+          | Some d when L.may_float (value d) ->
+            emit Rules.retention_input_float
+              ("inst:" ^ Netlist.inst_name nl iid)
+              ~witness:st.path.(d)
+              "retention flip-flop data input is %s in standby (net %s)"
+              (L.to_string (value d)) (Netlist.net_name nl d)
+          | Some _ | None -> ()
+        end
+      | _ -> if Vth.style_equal cell.Cell.style Vth.Mt_embedded then mte_pin_check iid "MTE");
+      (* crowbar: a powered gate fed by a maybe-floating level *)
+      if
+        Vth.style_equal cell.Cell.style Vth.Plain
+        && transferable cell.Cell.kind
+      then begin
+        let names = Func.input_names cell.Cell.kind in
+        let bad = ref None in
+        Array.iter
+          (fun pin ->
+            if !bad = None then
+              match Netlist.pin_net nl iid pin with
+              | Some nid when value nid = L.Top -> bad := Some (pin, nid)
+              | Some _ | None -> ())
+          names;
+        match !bad with
+        | Some (pin, nid) ->
+          emit Rules.crowbar_risk
+            ("inst:" ^ Netlist.inst_name nl iid)
+            ~witness:st.path.(nid)
+            "powered gate input %s may be at an intermediate level in standby (net %s)"
+            pin (Netlist.net_name nl nid)
+        | None -> ()
+      end);
+  let values = ref [] in
+  Netlist.iter_nets nl (fun nid ->
+      values := (Netlist.net_name nl nid, value nid) :: !values);
+  {
+    findings = List.rev !out;
+    values = List.rev !values;
+    transfers = st.transfers;
+    widened = !widened;
+  }
+
+let value_of r name =
+  List.assoc_opt name r.values

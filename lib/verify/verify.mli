@@ -1,0 +1,60 @@
+(** Static standby-state verifier: abstract interpretation of sleep mode.
+
+    The netlist is evaluated once, in the standby configuration the
+    paper's circuits sleep in (MTE asserted, clocks parked low, primary
+    inputs frozen at unknown-but-stable levels), over the
+    {!Lattice.v} value domain:
+
+    - primary inputs seed [Held] ([One] for the MTE net, [Zero] for
+      clock nets), flip-flop outputs seed [Held], undriven nets seed
+      [Float];
+    - a powered gate transfers through exact three-valued evaluation
+      ([Held] as X), with any possibly-floating input contaminating the
+      output to [Top];
+    - a VGND-style MT-cell's output is [Float] when its sleep switch is
+      off (MTE = 1), evaluated normally when the switch is (wrongly)
+      stuck on, and [Top] when the switch's enable is not a constant —
+      where the switch it hangs from comes from {!Smt_check.Walk}, the
+      traversal the structural DRC uses;
+    - a holder keeps its net: [Float] becomes [Held] when the holder's
+      own MTE pin is 1.  Holders are resolved by the net their Z pin is
+      {e wired} to ({!Smt_check.Walk.holder_pins}), not by the
+      [holder_of] record, so a holder on the wrong net does not fool
+      the analysis.
+
+    Values propagate through a deterministic FIFO worklist to a
+    fixpoint; nets trapped in combinational cycles are widened to
+    [Top].  {b Soundness}: every transfer is monotone over a finite
+    lattice and values only move up (stores join), so the fixpoint
+    exists, is reached in finitely many steps, and over-approximates
+    every concrete standby state — a net the analysis calls [Zero],
+    [One], or [Held] cannot float in silicon, so the absence of
+    [float-into-awake] findings is a guarantee, while [Top]-based
+    findings are conservative warnings.
+
+    Findings are reported against the {!Rules} catalog, each with a
+    witness propagation path from its origin.  The analysis never
+    mutates the netlist.
+
+    Emits [lint.runs] / [lint.transfers] / [lint.widened] metrics and a
+    [Verify.analyze] trace span. *)
+
+type result = {
+  findings : Rules.finding list;
+      (** deterministic order: net rules in net-id order, then instance
+          rules in instance-id order *)
+  values : (string * Lattice.v) list;
+      (** every net's standby value, in net-id order *)
+  transfers : int;  (** worklist transfer-function evaluations *)
+  widened : int;  (** nets forced to [Top] to break cycles *)
+}
+
+val analyze : Smt_netlist.Netlist.t -> result
+(** Assumes post-MT structure (run it on a flow product or any netlist
+    without MT cells); on a netlist between MT replacement and switch
+    insertion every MT output is reported floating, which is true but
+    not useful — the flow guard only engages the semantic pass once
+    switch insertion has run. *)
+
+val value_of : result -> string -> Lattice.v option
+(** Lookup in [values] by net name. *)

@@ -1,0 +1,80 @@
+type entry = {
+  w_rule : string;
+  w_loc : string;
+  w_line : int;
+}
+
+type t = entry list
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun tok -> tok <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go (lineno + 1) acc rest
+      else
+        match split_ws line with
+        | [ rule; loc ] ->
+          if rule <> "*" && Rules.find rule = None then
+            Error
+              (Printf.sprintf "waiver line %d: unknown rule id %s (known: %s)" lineno rule
+                 (String.concat ", " (List.map (fun (r : Rules.rule) -> r.Rules.id) Rules.all)))
+          else go (lineno + 1) ({ w_rule = rule; w_loc = loc; w_line = lineno } :: acc) rest
+        | _ ->
+          Error
+            (Printf.sprintf "waiver line %d: expected `<rule-id> <location-pattern>`, got %S"
+               lineno line))
+  in
+  go 1 [] lines
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+(* Anchored *-glob: classic two-pointer scan with backtracking to the
+   last star. *)
+let glob_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec scan p i star star_i =
+    if i < ns then
+      if p < np && (pattern.[p] = s.[i]) then scan (p + 1) (i + 1) star star_i
+      else if p < np && pattern.[p] = '*' then scan (p + 1) i (Some p) i
+      else
+        match star with
+        | Some sp -> scan (sp + 1) (star_i + 1) star (star_i + 1)
+        | None -> false
+    else begin
+      let p = ref p in
+      while !p < np && pattern.[!p] = '*' do
+        incr p
+      done;
+      !p = np
+    end
+  in
+  scan 0 0 None 0
+
+let matches e (f : Rules.finding) =
+  (e.w_rule = "*" || String.equal e.w_rule f.Rules.rule.Rules.id)
+  && glob_match ~pattern:e.w_loc f.Rules.loc
+
+let apply waivers findings =
+  let kept = ref [] and waived = ref [] in
+  List.iter
+    (fun f ->
+      match List.find_opt (fun e -> matches e f) waivers with
+      | Some e -> waived := (f, e) :: !waived
+      | None -> kept := f :: !kept)
+    findings;
+  (List.rev !kept, List.rev !waived)

@@ -1,0 +1,41 @@
+(** Waiver files for semantic findings.
+
+    Line-oriented text, one waiver per line:
+
+    {v
+    # comment (blank lines ignored)
+    <rule-id> <location-pattern>
+    useless-holder net:dp_out_*
+    crowbar-risk *
+    v}
+
+    The rule id must name a catalog rule exactly ([*] waives every
+    rule).  The location pattern is a glob over the finding's
+    ["net:<name>"] / ["inst:<name>"] location, where [*] matches any
+    run of characters (including none).  Waivers silence findings — the
+    lint exit code and the SARIF results mark them suppressed rather
+    than dropping them, so a waiver is auditable. *)
+
+type entry = {
+  w_rule : string;  (** rule id or ["*"] *)
+  w_loc : string;  (** glob over the finding location *)
+  w_line : int;  (** 1-based source line, for messages *)
+}
+
+type t = entry list
+
+val parse : string -> (t, string) result
+(** Parse waiver-file text.  Unknown rule ids and malformed lines are
+    errors (a typo would otherwise silently waive nothing). *)
+
+val load : string -> (t, string) result
+(** [parse] on a file's contents; I/O problems come back as [Error]. *)
+
+val glob_match : pattern:string -> string -> bool
+(** [*]-glob matching, anchored at both ends. *)
+
+val matches : entry -> Rules.finding -> bool
+
+val apply : t -> Rules.finding list -> Rules.finding list * (Rules.finding * entry) list
+(** Split findings into (kept, waived-with-the-entry-that-matched);
+    order is preserved on both sides, first matching entry wins. *)

@@ -14,6 +14,8 @@ module Repair = Smt_check.Repair
 module Violation = Smt_check.Violation
 module Fault = Smt_fault.Fault
 module Flow = Smt_core.Flow
+module Verify = Smt_verify.Verify
+module Rules = Smt_verify.Rules
 
 let lib = Library.default ()
 let lv k = Library.variant lib k Vth.Low Vth.Plain
@@ -103,14 +105,23 @@ let test_minimal_period_fallback () =
 let test_check_library_flags_poison () =
   Alcotest.(check (list string)) "default library sane" [] (error_strings (Drc.check_library lib))
 
-(* --- fault-injection coverage: every class maps to its expected codes --- *)
+(* --- fault-injection coverage: every class maps to its expected codes
+   (structural DRC) or expected rules (semantic standby pass) --- *)
 
 let codes_of nl place =
   List.map (fun v -> v.Violation.code) (Drc.check ~place ~expect_buffered_mte:false nl)
 
+let rule_ids_of nl =
+  List.map (fun f -> f.Rules.rule.Rules.id) (Verify.analyze nl).Verify.findings
+
 let test_fault_coverage () =
   List.iter
     (fun fault ->
+      (* No fault class may fall between the two checkers. *)
+      Alcotest.(check bool)
+        (Fault.name fault ^ " has a detection mapping")
+        true
+        (Fault.expected_codes fault <> [] || Fault.expected_rules fault <> []);
       List.iter
         (fun seed ->
           let nl, place = mt_netlist ~seed () in
@@ -120,25 +131,47 @@ let test_fault_coverage () =
               (Printf.sprintf "fault %s: no applicable site (seed %d)" (Fault.name fault)
                  seed)
           | Some _ ->
-            let codes = codes_of nl place in
-            Alcotest.(check bool)
-              (Printf.sprintf "%s detected (seed %d)" (Fault.name fault) seed)
-              true
-              (List.exists (fun c -> List.mem c codes) (Fault.expected_codes fault)))
+            (match Fault.expected_codes fault with
+            | [] ->
+              (* Semantic-only class: the structural checker must stay
+                 blind, or the class belongs in expected_codes. *)
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s: DRC blind (seed %d)" (Fault.name fault) seed)
+                []
+                (error_strings (Drc.check ~place ~expect_buffered_mte:false nl))
+            | expected ->
+              let codes = codes_of nl place in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s DRC-detected (seed %d)" (Fault.name fault) seed)
+                true
+                (List.exists (fun c -> List.mem c codes) expected));
+            match Fault.expected_rules fault with
+            | [] -> ()
+            | expected ->
+              let rules = rule_ids_of nl in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s lint-detected (seed %d)" (Fault.name fault) seed)
+                true
+                (List.exists (fun r -> List.mem r rules) expected))
         [ 1; 2; 3 ])
     Fault.all
 
 let test_undetected_without_fault () =
-  (* The detection mapping is meaningful only if the codes are absent
-     before injection. *)
+  (* The detection mapping is meaningful only if the codes and rules are
+     absent before injection. *)
   List.iter
     (fun fault ->
       let nl, place = mt_netlist ~seed:7 () in
       let codes = codes_of nl place in
+      let rules = rule_ids_of nl in
       Alcotest.(check bool)
         (Printf.sprintf "%s codes absent pre-injection" (Fault.name fault))
         false
-        (List.exists (fun c -> List.mem c codes) (Fault.expected_codes fault)))
+        (List.exists (fun c -> List.mem c codes) (Fault.expected_codes fault));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rules absent pre-injection" (Fault.name fault))
+        false
+        (List.exists (fun r -> List.mem r rules) (Fault.expected_rules fault)))
     Fault.all
 
 let test_repair_restores_clean () =

@@ -1,7 +1,7 @@
 (* Tests for the evaluation circuits and every generator in the suite. *)
 
 module Netlist = Smt_netlist.Netlist
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Nl_stats = Smt_netlist.Nl_stats
 module Sta = Smt_sta.Sta
 module Simulator = Smt_sim.Simulator

@@ -1,5 +1,5 @@
 module Netlist = Smt_netlist.Netlist
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Clone = Smt_netlist.Clone
 module Placement = Smt_place.Placement
 module Sta = Smt_sta.Sta

@@ -5,7 +5,7 @@ module Func = Smt_cell.Func
 module Cell = Smt_cell.Cell
 module Library = Smt_cell.Library
 module Generators = Smt_circuits.Generators
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 
 let lib = Library.default ()
 

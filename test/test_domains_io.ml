@@ -2,7 +2,7 @@
    save/restore. *)
 
 module Netlist = Smt_netlist.Netlist
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Placement = Smt_place.Placement
 module Sta = Smt_sta.Sta
 module Leakage = Smt_power.Leakage

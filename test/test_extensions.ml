@@ -4,7 +4,7 @@
 
 module Netlist = Smt_netlist.Netlist
 module Builder = Smt_netlist.Builder
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Clone = Smt_netlist.Clone
 module Optimize = Smt_netlist.Optimize
 module Sta = Smt_sta.Sta
@@ -576,7 +576,7 @@ let test_fix_setup_noop_when_met () =
 
 let test_pipeline_structure () =
   let nl = Generators.pipeline ~name:"p3" ~stages:3 ~width:8 ~stage_depth:4 lib in
-  Alcotest.(check (list string)) "valid" [] (Smt_netlist.Check.validate nl);
+  Alcotest.(check (list string)) "valid" [] (Check.validate nl);
   let stats = Smt_netlist.Nl_stats.compute nl in
   (* (stages+1) register banks of `width` flip-flops *)
   Alcotest.(check int) "register banks" (4 * 8) stats.Smt_netlist.Nl_stats.sequential;

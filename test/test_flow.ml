@@ -1,5 +1,5 @@
 module Netlist = Smt_netlist.Netlist
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Clone = Smt_netlist.Clone
 module Nl_stats = Smt_netlist.Nl_stats
 module Flow = Smt_core.Flow

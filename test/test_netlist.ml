@@ -1,6 +1,6 @@
 module Netlist = Smt_netlist.Netlist
 module Builder = Smt_netlist.Builder
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Nl_stats = Smt_netlist.Nl_stats
 module Writer = Smt_netlist.Writer
 module Parser = Smt_netlist.Parser
@@ -403,12 +403,12 @@ let test_holder_required_rule () =
   let z = Netlist.add_output nl "z" in
   ignore (Netlist.add_inst nl ~name:"m1" (mt_cell Func.Inv) [ ("A", a); ("Z", mid) ]);
   ignore (Netlist.add_inst nl ~name:"m2" (mt_cell Func.Inv) [ ("A", mid); ("Z", z) ]);
-  Alcotest.(check bool) "all-MT fanout: unnecessary" false (Check.holder_required nl mid);
-  Alcotest.(check bool) "PO fanout: required" true (Check.holder_required nl z);
+  Alcotest.(check bool) "all-MT fanout: unnecessary" false (Smt_netlist.Check.holder_required nl mid);
+  Alcotest.(check bool) "PO fanout: required" true (Smt_netlist.Check.holder_required nl z);
   (* add a plain sink on mid *)
   let z2 = Netlist.add_output nl "z2" in
   ignore (Netlist.add_inst nl ~name:"p1" (lv Func.Inv) [ ("A", mid); ("Z", z2) ]);
-  Alcotest.(check bool) "plain fanout: required" true (Check.holder_required nl mid)
+  Alcotest.(check bool) "plain fanout: required" true (Smt_netlist.Check.holder_required nl mid)
 
 let test_post_mt_validation () =
   let nl = fresh "post" in

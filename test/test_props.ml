@@ -2,7 +2,7 @@
    invariants, registered as alcotest cases. *)
 
 module Netlist = Smt_netlist.Netlist
-module Check = Smt_netlist.Check
+module Check = Smt_check.Drc
 module Clone = Smt_netlist.Clone
 module Nl_stats = Smt_netlist.Nl_stats
 module Placement = Smt_place.Placement
@@ -385,6 +385,10 @@ module Drc = Smt_check.Drc
 module Repair = Smt_check.Repair
 module Violation = Smt_check.Violation
 module Fault = Smt_fault.Fault
+module Verify = Smt_verify.Verify
+module Rules = Smt_verify.Rules
+module Flow = Smt_core.Flow
+module Suite = Smt_circuits.Suite
 
 (* Improved-MT transform of a random circuit; None when no cell survives as
    an MT candidate. *)
@@ -408,11 +412,13 @@ let prop_checker_clean_on_generated =
       Violation.errors (Drc.check ~expect_buffered_mte:false (random_netlist seed)) = [])
 
 let prop_checker_agrees_with_validate =
-  (* The typed checker must flag at least whatever the netlist-level
-     validator flags: no error class escapes the new layer. *)
-  QCheck2.Test.make ~name:"checker errors iff validate errors (random corruption)"
+  (* Every injected fault class is caught by its advertised checker: the
+     structural classes by a DRC code, the semantic-only classes by a
+     standby-verifier rule — and the semantic-only classes must stay
+     invisible to the DRC (that is their whole point). *)
+  QCheck2.Test.make ~name:"every fault class caught by DRC or the standby verifier"
     ~count:20
-    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 6))
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 8))
     (fun (seed, which) ->
       match random_mt_netlist seed with
       | None -> true
@@ -421,16 +427,49 @@ let prop_checker_agrees_with_validate =
         (match Fault.inject ~seed nl fault with
         | None -> true
         | Some _ ->
-          let detected =
-            List.map
-              (fun v -> v.Violation.code)
-              (Drc.check ~place ~expect_buffered_mte:false nl)
+          let vs = Drc.check ~place ~expect_buffered_mte:false nl in
+          let detected = List.map (fun v -> v.Violation.code) vs in
+          let codes_ok =
+            match Fault.expected_codes fault with
+            | [] -> Violation.errors vs = [] (* DRC-invisible by design *)
+            | expected -> List.exists (fun c -> List.mem c detected) expected
           in
-          List.exists (fun c -> List.mem c detected) (Fault.expected_codes fault)))
+          let rules_ok =
+            match Fault.expected_rules fault with
+            | [] -> true
+            | expected ->
+              let ids =
+                List.map
+                  (fun f -> f.Rules.rule.Rules.id)
+                  (Verify.analyze nl).Verify.findings
+              in
+              List.exists (fun r -> List.mem r ids) expected
+          in
+          codes_ok && rules_ok))
+
+let prop_flow_products_lint_clean =
+  (* Whatever circuit the suite generates and whichever technique the
+     flow applies, the finished netlist must carry no semantic standby
+     errors: the holders, switches, and enable tree the flow inserts are
+     exactly what the abstract interpretation demands. *)
+  QCheck2.Test.make ~name:"flow products are lint-clean" ~count:8
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 23))
+    (fun (seed, which) ->
+      let _, gen = List.nth Suite.all (which mod List.length Suite.all) in
+      let technique =
+        match which mod 3 with
+        | 0 -> Flow.Dual_vth
+        | 1 -> Flow.Conventional_smt
+        | _ -> Flow.Improved_smt
+      in
+      let nl = gen lib in
+      let options = { Flow.default_options with Flow.seed; Flow.activity_cycles = 32 } in
+      ignore (Flow.run ~options technique nl);
+      (Verify.analyze nl).Verify.findings = [])
 
 let prop_repair_clears_repairable =
   QCheck2.Test.make ~name:"repair clears repairable faults and is idempotent" ~count:15
-    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 6))
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 8))
     (fun (seed, which) ->
       match random_mt_netlist seed with
       | None -> true
@@ -481,6 +520,7 @@ let () =
           qtest prop_checker_clean_on_generated;
           qtest prop_checker_agrees_with_validate;
           qtest prop_repair_clears_repairable;
+          qtest prop_flow_products_lint_clean;
         ] );
       ( "extensions",
         [

@@ -1,0 +1,457 @@
+(* The semantic standby verifier: lattice algebra, abstract transfer,
+   waiver files, rule findings on hand-built pathologies, determinism,
+   and the SARIF export. *)
+
+module Netlist = Smt_netlist.Netlist
+module Library = Smt_cell.Library
+module Func = Smt_cell.Func
+module Vth = Smt_cell.Vth
+module Cell = Smt_cell.Cell
+module Generators = Smt_circuits.Generators
+module Flow = Smt_core.Flow
+module L = Smt_verify.Lattice
+module Rules = Smt_verify.Rules
+module Waiver = Smt_verify.Waiver
+module Verify = Smt_verify.Verify
+module Sarif = Smt_verify.Sarif
+module J = Smt_obs.Obs_json
+
+let lib = Library.default ()
+let lv k = Library.variant lib k Vth.Low Vth.Plain
+let mt k = Library.restyle lib (lv k) Vth.Low Vth.Mt_vgnd
+
+let vv = Alcotest.testable (Fmt.of_to_string L.to_string) L.equal
+let all_values = [ L.Zero; L.One; L.Held; L.Float; L.Top ]
+
+(* --- lattice algebra --- *)
+
+let test_join_algebra () =
+  List.iter
+    (fun a ->
+      Alcotest.check vv "idempotent" a (L.join a a);
+      Alcotest.check vv "top absorbs" L.Top (L.join a L.Top);
+      List.iter
+        (fun b ->
+          Alcotest.check vv "commutative" (L.join a b) (L.join b a);
+          Alcotest.(check bool) "a <= join a b" true (L.leq a (L.join a b));
+          List.iter
+            (fun c ->
+              Alcotest.check vv "associative"
+                (L.join a (L.join b c))
+                (L.join (L.join a b) c))
+            all_values)
+        all_values)
+    all_values
+
+let test_join_cases () =
+  Alcotest.check vv "0 v 1 = held" L.Held (L.join L.Zero L.One);
+  Alcotest.check vv "0 v held = held" L.Held (L.join L.Zero L.Held);
+  Alcotest.check vv "float v 1 = top" L.Top (L.join L.Float L.One);
+  Alcotest.check vv "float v held = top" L.Top (L.join L.Float L.Held);
+  Alcotest.check vv "float v float = float" L.Float (L.join L.Float L.Float)
+
+let test_order () =
+  Alcotest.(check bool) "0 <= held" true (L.leq L.Zero L.Held);
+  Alcotest.(check bool) "1 <= held" true (L.leq L.One L.Held);
+  Alcotest.(check bool) "held <= top" true (L.leq L.Held L.Top);
+  Alcotest.(check bool) "float <= top" true (L.leq L.Float L.Top);
+  Alcotest.(check bool) "float not <= held" false (L.leq L.Float L.Held);
+  Alcotest.(check bool) "0 not <= 1" false (L.leq L.Zero L.One);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "defined xor may_float below top" true
+        (v = L.Top || L.is_defined v <> L.may_float v))
+    all_values
+
+let test_transfer () =
+  (* any possibly-floating input contaminates, even a controlling 0 *)
+  Alcotest.check vv "nand(float,0) = top" L.Top (L.eval Func.Nand2 [| L.Float; L.Zero |]);
+  Alcotest.check vv "inv(top) = top" L.Top (L.eval Func.Inv [| L.Top |]);
+  (* otherwise exact three-valued evaluation with held as X *)
+  Alcotest.check vv "nand(0,held) = 1" L.One (L.eval Func.Nand2 [| L.Zero; L.Held |]);
+  Alcotest.check vv "nand(1,held) = held" L.Held (L.eval Func.Nand2 [| L.One; L.Held |]);
+  Alcotest.check vv "and(0,held) = 0" L.Zero (L.eval Func.And2 [| L.Zero; L.Held |]);
+  Alcotest.check vv "inv(0) = 1" L.One (L.eval Func.Inv [| L.Zero |]);
+  Alcotest.check vv "inv(held) = held" L.Held (L.eval Func.Inv [| L.Held |])
+
+let test_transfer_monotone () =
+  (* brute-force monotonicity of a two-input transfer *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun a' ->
+          if L.leq a a' then
+            List.iter
+              (fun b ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "nand monotone %s<=%s at %s" (L.to_string a)
+                     (L.to_string a') (L.to_string b))
+                  true
+                  (L.leq (L.eval Func.Nand2 [| a; b |]) (L.eval Func.Nand2 [| a'; b |])))
+              all_values)
+        all_values)
+    all_values
+
+let test_logic_bridge () =
+  List.iter
+    (fun v ->
+      match L.to_logic v with
+      | Some x -> Alcotest.check vv "roundtrip" v (L.of_logic x)
+      | None -> Alcotest.(check bool) "only hazards drop out" true (L.may_float v))
+    all_values
+
+(* --- waiver files --- *)
+
+let test_waiver_parse () =
+  let src = "# comment\n\nuseless-holder net:dp_*\n* inst:sw_1\n" in
+  match Waiver.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok entries ->
+    Alcotest.(check int) "two entries" 2 (List.length entries);
+    let e1 = List.nth entries 0 in
+    Alcotest.(check string) "rule" "useless-holder" e1.Waiver.w_rule;
+    Alcotest.(check string) "glob" "net:dp_*" e1.Waiver.w_loc;
+    Alcotest.(check int) "line number" 3 e1.Waiver.w_line
+
+let test_waiver_rejects_unknown_rule () =
+  match Waiver.parse "needs-coffee *\n" with
+  | Ok _ -> Alcotest.fail "typo'd rule id accepted"
+  | Error e ->
+    Alcotest.(check bool) "names the line" true
+      (String.length e > 0 && String.index_opt e '1' <> None)
+
+let test_waiver_rejects_malformed () =
+  match Waiver.parse "useless-holder\n" with
+  | Ok _ -> Alcotest.fail "entry without a location accepted"
+  | Error _ -> ()
+
+let test_glob () =
+  let m p s = Waiver.glob_match ~pattern:p s in
+  Alcotest.(check bool) "star matches all" true (m "*" "net:anything");
+  Alcotest.(check bool) "anchored prefix" true (m "net:dp_*" "net:dp_7");
+  Alcotest.(check bool) "anchored, not substring" false (m "net:dp_*" "xnet:dp_7");
+  Alcotest.(check bool) "suffix required" false (m "net:*_q" "net:a_q2");
+  Alcotest.(check bool) "backtracking" true (m "a*b*c" "aXbYbZc");
+  Alcotest.(check bool) "exact" true (m "inst:sw_1" "inst:sw_1");
+  Alcotest.(check bool) "empty star run" true (m "a*b" "ab")
+
+let finding rule loc =
+  { Rules.rule; loc; message = "m"; witness = [] }
+
+let test_waiver_apply () =
+  let w =
+    match Waiver.parse "useless-holder net:a*\n* net:b\n* net:a1\n" with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let f1 = finding Rules.useless_holder "net:a1" in
+  let f2 = finding Rules.useless_holder "net:b" in
+  let f3 = finding Rules.float_into_awake "net:b" in
+  let f4 = finding Rules.float_into_awake "net:c" in
+  let kept, waived = Waiver.apply w [ f1; f2; f3; f4 ] in
+  Alcotest.(check (list string)) "kept"
+    [ "net:c" ]
+    (List.map (fun f -> f.Rules.loc) kept);
+  Alcotest.(check (list string)) "waived in order"
+    [ "net:a1"; "net:b"; "net:b" ]
+    (List.map (fun (f, _) -> f.Rules.loc) waived);
+  (* f1 matches entry 1 (rule + glob) and entry 3 (wildcard): the first
+     matching entry is the one recorded *)
+  let _, e1 = List.hd waived in
+  Alcotest.(check int) "first entry wins" 1 e1.Waiver.w_line;
+  (* f2 matches only the wildcard on line 2 *)
+  let _, e2 = List.nth waived 1 in
+  Alcotest.(check int) "rule mismatch falls through" 2 e2.Waiver.w_line
+
+(* --- hand-built pathologies, one per rule --- *)
+
+let rule_ids r = List.map (fun f -> f.Rules.rule.Rules.id) r.Verify.findings
+
+let base () =
+  let nl = Netlist.create ~name:"lintcase" ~lib in
+  let mte = Netlist.add_input nl "MTE" in
+  let a = Netlist.add_input nl "a" in
+  (nl, mte, a)
+
+let gated_mt nl mte a ~out =
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:8.0) [ ("MTE", mte) ] in
+  let g = Netlist.add_inst nl ~name:"g0" (mt Func.Nand2) [ ("A", a); ("B", a); ("Z", out) ] in
+  Netlist.set_vgnd_switch nl g (Some sw);
+  sw
+
+let test_float_into_awake () =
+  let nl, mte, a = base () in
+  let w = Netlist.add_net nl "w" in
+  let z = Netlist.add_output nl "z" in
+  ignore (gated_mt nl mte a ~out:w);
+  ignore (Netlist.add_inst nl ~name:"r0" (lv Func.Inv) [ ("A", w); ("Z", z) ]);
+  let r = Verify.analyze nl in
+  Alcotest.check vv "w floats" L.Float (Option.get (Verify.value_of r "w"));
+  let floats =
+    List.filter (fun f -> f.Rules.rule.Rules.id = Rules.float_into_awake.Rules.id) r.Verify.findings
+  in
+  (match floats with
+  | [ f ] ->
+    Alcotest.(check string) "at the floating net" "net:w" f.Rules.loc;
+    Alcotest.(check bool) "witness starts at the cut cell" true
+      (List.exists (fun s -> String.length s >= 7 && String.sub s 0 7 = "inst:g0") f.Rules.witness)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 float-into-awake, got %d" (List.length fs)));
+  (* the PO computed from the float is a crowbar risk, not a float *)
+  Alcotest.(check bool) "po crowbar flagged" true
+    (List.exists
+       (fun f -> f.Rules.rule.Rules.id = Rules.crowbar_risk.Rules.id && f.Rules.loc = "net:z")
+       r.Verify.findings)
+
+let test_holder_silences_float () =
+  let nl, mte, a = base () in
+  let w = Netlist.add_net nl "w" in
+  let z = Netlist.add_output nl "z" in
+  ignore (gated_mt nl mte a ~out:w);
+  ignore (Netlist.add_inst nl ~name:"h0" (Library.holder lib) [ ("Z", w); ("MTE", mte) ]);
+  ignore (Netlist.add_inst nl ~name:"r0" (lv Func.Inv) [ ("A", w); ("Z", z) ]);
+  let r = Verify.analyze nl in
+  Alcotest.check vv "w held" L.Held (Option.get (Verify.value_of r "w"));
+  Alcotest.(check (list string)) "clean" [] (List.map Rules.to_string r.Verify.findings)
+
+let test_useless_holder_never_floats () =
+  let nl, mte, a = base () in
+  ignore mte;
+  let w = Netlist.add_net nl "w" in
+  let z = Netlist.add_output nl "z" in
+  ignore (Netlist.add_inst nl ~name:"d0" (lv Func.Inv) [ ("A", a); ("Z", w) ]);
+  ignore (Netlist.add_inst nl ~name:"h0" (Library.holder lib) [ ("Z", w); ("MTE", mte) ]);
+  ignore (Netlist.add_inst nl ~name:"r0" (lv Func.Inv) [ ("A", w); ("Z", z) ]);
+  let r = Verify.analyze nl in
+  Alcotest.(check (list string)) "one useless-holder, nothing else"
+    [ Rules.useless_holder.Rules.id ]
+    (rule_ids r);
+  Alcotest.(check bool) "it is a warning" false (Rules.has_errors r.Verify.findings)
+
+let test_useless_holder_mt_only_readers () =
+  let nl, mte, a = base () in
+  let w = Netlist.add_net nl "w" in
+  let w2 = Netlist.add_output nl "w2" in
+  let sw = gated_mt nl mte a ~out:w in
+  ignore (Netlist.add_inst nl ~name:"h0" (Library.holder lib) [ ("Z", w); ("MTE", mte) ]);
+  let g2 = Netlist.add_inst nl ~name:"g2" (mt Func.Inv) [ ("A", w); ("Z", w2) ] in
+  Netlist.set_vgnd_switch nl g2 (Some sw);
+  ignore (Netlist.add_inst nl ~name:"h2" (Library.holder lib) [ ("Z", w2); ("MTE", mte) ]);
+  let r = Verify.analyze nl in
+  let useless =
+    List.filter (fun f -> f.Rules.rule.Rules.id = Rules.useless_holder.Rules.id) r.Verify.findings
+  in
+  Alcotest.(check (list string)) "only the MT-read net's holder"
+    [ "net:w" ]
+    (List.map (fun f -> f.Rules.loc) useless)
+
+let test_mte_polarity () =
+  let nl, mte, a = base () in
+  let w = Netlist.add_net nl "w" in
+  let z = Netlist.add_output nl "z" in
+  let mte_n = Netlist.add_net nl "mte_n" in
+  ignore (Netlist.add_inst nl ~name:"i0" (lv Func.Inv) [ ("A", mte); ("Z", mte_n) ]);
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:8.0) [ ("MTE", mte_n) ] in
+  let g = Netlist.add_inst nl ~name:"g0" (mt Func.Nand2) [ ("A", a); ("B", a); ("Z", w) ] in
+  Netlist.set_vgnd_switch nl g (Some sw);
+  ignore (Netlist.add_inst nl ~name:"r0" (lv Func.Inv) [ ("A", w); ("Z", z) ]);
+  let r = Verify.analyze nl in
+  Alcotest.(check (list string)) "exactly the polarity error"
+    [ Rules.mte_polarity.Rules.id ]
+    (rule_ids r);
+  let f = List.hd r.Verify.findings in
+  Alcotest.(check string) "at the switch" "inst:sw0" f.Rules.loc;
+  Alcotest.(check bool) "witness traces from MTE" true
+    (List.exists
+       (fun s -> String.length s >= 7 && String.sub s 0 7 = "net:MTE")
+       f.Rules.witness);
+  Alcotest.(check bool) "stuck-on member evaluates, no float" true
+    (L.is_defined (Option.get (Verify.value_of r "w")))
+
+let test_mte_undetermined () =
+  let nl, _mte, a = base () in
+  let e = Netlist.add_input nl "mode" in
+  let w = Netlist.add_net nl "w" in
+  let z = Netlist.add_output nl "z" in
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:8.0) [ ("MTE", e) ] in
+  let g = Netlist.add_inst nl ~name:"g0" (mt Func.Nand2) [ ("A", a); ("B", a); ("Z", w) ] in
+  Netlist.set_vgnd_switch nl g (Some sw);
+  ignore (Netlist.add_inst nl ~name:"r0" (lv Func.Inv) [ ("A", w); ("Z", z) ]);
+  let r = Verify.analyze nl in
+  Alcotest.(check bool) "undetermined enable flagged" true
+    (List.exists
+       (fun f -> f.Rules.rule.Rules.id = Rules.mte_undetermined.Rules.id && f.Rules.loc = "inst:sw0")
+       r.Verify.findings);
+  Alcotest.check vv "member output is top" L.Top (Option.get (Verify.value_of r "w"))
+
+let test_retention_input_float () =
+  let nl, mte, a = base () in
+  let clk = Netlist.add_input ~clock:true nl "clk" in
+  let w = Netlist.add_net nl "w" in
+  let q = Netlist.add_output nl "q" in
+  ignore (gated_mt nl mte a ~out:w);
+  ignore
+    (Netlist.add_inst nl ~name:"ff0" (Library.retention_dff lib)
+       [ ("D", w); ("CK", clk); ("Q", q) ]);
+  let r = Verify.analyze nl in
+  Alcotest.(check bool) "retention D float flagged" true
+    (List.exists
+       (fun f ->
+         f.Rules.rule.Rules.id = Rules.retention_input_float.Rules.id
+         && f.Rules.loc = "inst:ff0")
+       r.Verify.findings)
+
+let test_crowbar_instance () =
+  let nl, _mte, a = base () in
+  let e = Netlist.add_input nl "mode" in
+  let w = Netlist.add_net nl "w" in
+  let z = Netlist.add_output nl "z" in
+  let sw = Netlist.add_inst nl ~name:"sw0" (Library.switch lib ~width:8.0) [ ("MTE", e) ] in
+  let g = Netlist.add_inst nl ~name:"g0" (mt Func.Inv) [ ("A", a); ("Z", w) ] in
+  Netlist.set_vgnd_switch nl g (Some sw);
+  ignore (Netlist.add_inst nl ~name:"r0" (lv Func.Inv) [ ("A", w); ("Z", z) ]);
+  let r = Verify.analyze nl in
+  Alcotest.(check bool) "powered gate on a top net flagged" true
+    (List.exists
+       (fun f -> f.Rules.rule.Rules.id = Rules.crowbar_risk.Rules.id && f.Rules.loc = "inst:r0")
+       r.Verify.findings)
+
+let test_cycle_widens () =
+  let nl = Netlist.create ~name:"loop" ~lib in
+  let a = Netlist.add_net nl "a" in
+  let b = Netlist.add_net nl "b" in
+  ignore (Netlist.add_inst nl ~name:"i1" (lv Func.Inv) [ ("A", a); ("Z", b) ]);
+  ignore (Netlist.add_inst nl ~name:"i2" (lv Func.Inv) [ ("A", b); ("Z", a) ]);
+  let r = Verify.analyze nl in
+  Alcotest.(check int) "both nets widened" 2 r.Verify.widened;
+  Alcotest.check vv "a is top" L.Top (Option.get (Verify.value_of r "a"));
+  Alcotest.check vv "b is top" L.Top (Option.get (Verify.value_of r "b"))
+
+let test_clock_parked_and_ff_held () =
+  let nl = Netlist.create ~name:"seq" ~lib in
+  let clk = Netlist.add_input ~clock:true nl "clk" in
+  let d = Netlist.add_input nl "d" in
+  let q = Netlist.add_output nl "q" in
+  ignore (Netlist.add_inst nl ~name:"ff0" (lv Func.Dff) [ ("D", d); ("CK", clk); ("Q", q) ]);
+  let r = Verify.analyze nl in
+  Alcotest.check vv "clock parked low" L.Zero (Option.get (Verify.value_of r "clk"));
+  Alcotest.check vv "flip-flop output held" L.Held (Option.get (Verify.value_of r "q"));
+  Alcotest.(check (list string)) "clean" [] (List.map Rules.to_string r.Verify.findings)
+
+(* --- determinism & flow product --- *)
+
+let test_analyze_deterministic () =
+  let nl = Generators.multiplier ~name:"det" ~bits:4 lib in
+  ignore (Flow.run ~options:{ Flow.default_options with Flow.activity_cycles = 32 } Flow.Improved_smt nl);
+  let s r = List.map Rules.to_string r.Verify.findings in
+  let r1 = Verify.analyze nl and r2 = Verify.analyze nl in
+  Alcotest.(check (list string)) "findings stable" (s r1) (s r2);
+  Alcotest.(check int) "transfer count stable" r1.Verify.transfers r2.Verify.transfers;
+  Alcotest.(check bool) "values stable" true (r1.Verify.values = r2.Verify.values)
+
+let test_flow_product_clean () =
+  let nl = Generators.counter ~name:"fpc" ~bits:6 lib in
+  ignore (Flow.run ~options:{ Flow.default_options with Flow.activity_cycles = 32 } Flow.Improved_smt nl);
+  let r = Verify.analyze nl in
+  Alcotest.(check (list string)) "improved flow product lint-clean" []
+    (List.map Rules.to_string r.Verify.findings)
+
+(* --- SARIF export --- *)
+
+let mem path doc =
+  List.fold_left
+    (fun acc k -> match acc with Some d -> J.member k d | None -> None)
+    (Some doc) path
+
+let nth_arr = function Some (J.Arr xs) -> xs | _ -> Alcotest.fail "expected array"
+
+let test_sarif_document () =
+  let wl =
+    {
+      Sarif.wl_name = "c/imp";
+      wl_findings = [ finding Rules.float_into_awake "net:w" ];
+      wl_waived =
+        [
+          ( finding Rules.useless_holder "net:h",
+            { Waiver.w_rule = "useless-holder"; w_loc = "net:h"; w_line = 4 } );
+        ];
+    }
+  in
+  let doc = J.parse_exn (Sarif.render [ wl ]) in
+  Alcotest.(check (option string)) "version" (Some "2.1.0")
+    (Option.bind (mem [ "version" ] doc) J.to_str);
+  let runs = nth_arr (mem [ "runs" ] doc) in
+  Alcotest.(check int) "one run" 1 (List.length runs);
+  let run = List.hd runs in
+  let rules = nth_arr (mem [ "tool"; "driver"; "rules" ] run) in
+  Alcotest.(check int) "whole catalog exported" (List.length Rules.all) (List.length rules);
+  Alcotest.(check (list (option string)))
+    "rule ids in catalog order"
+    (List.map (fun r -> Some r.Rules.id) Rules.all)
+    (List.map (fun r -> Option.bind (J.member "id" r) J.to_str) rules);
+  let results = nth_arr (mem [ "results" ] run) in
+  Alcotest.(check int) "finding + waived finding" 2 (List.length results);
+  let r0 = List.nth results 0 and r1 = List.nth results 1 in
+  Alcotest.(check (option string)) "ruleId" (Some "float-into-awake")
+    (Option.bind (mem [ "ruleId" ] r0) J.to_str);
+  let loc0 = List.hd (nth_arr (mem [ "locations" ] r0)) in
+  let fqn = List.hd (nth_arr (mem [ "logicalLocations" ] loc0)) in
+  Alcotest.(check (option string)) "workload-qualified location" (Some "c/imp/net:w")
+    (Option.bind (mem [ "fullyQualifiedName" ] fqn) J.to_str);
+  Alcotest.(check bool) "live finding unsuppressed" true (mem [ "suppressions" ] r0 = None);
+  let sup = List.hd (nth_arr (mem [ "suppressions" ] r1)) in
+  Alcotest.(check (option string)) "waiver recorded" (Some "external")
+    (Option.bind (mem [ "kind" ] sup) J.to_str)
+
+let test_sarif_deterministic () =
+  let nl = Generators.multiplier ~name:"sd" ~bits:4 lib in
+  ignore (Flow.run ~options:{ Flow.default_options with Flow.activity_cycles = 32 } Flow.Improved_smt nl);
+  let wl () =
+    let r = Verify.analyze nl in
+    { Sarif.wl_name = "sd/improved"; wl_findings = r.Verify.findings; wl_waived = [] }
+  in
+  Alcotest.(check string) "byte-identical" (Sarif.render [ wl () ]) (Sarif.render [ wl () ])
+
+let () =
+  Alcotest.run "smt_verify"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "join algebra" `Quick test_join_algebra;
+          Alcotest.test_case "join cases" `Quick test_join_cases;
+          Alcotest.test_case "order" `Quick test_order;
+          Alcotest.test_case "transfer" `Quick test_transfer;
+          Alcotest.test_case "transfer monotone" `Quick test_transfer_monotone;
+          Alcotest.test_case "logic bridge" `Quick test_logic_bridge;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "parse" `Quick test_waiver_parse;
+          Alcotest.test_case "unknown rule rejected" `Quick test_waiver_rejects_unknown_rule;
+          Alcotest.test_case "malformed rejected" `Quick test_waiver_rejects_malformed;
+          Alcotest.test_case "glob" `Quick test_glob;
+          Alcotest.test_case "apply" `Quick test_waiver_apply;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "float into awake" `Quick test_float_into_awake;
+          Alcotest.test_case "holder silences float" `Quick test_holder_silences_float;
+          Alcotest.test_case "useless holder (never floats)" `Quick test_useless_holder_never_floats;
+          Alcotest.test_case "useless holder (MT-only readers)" `Quick test_useless_holder_mt_only_readers;
+          Alcotest.test_case "mte polarity" `Quick test_mte_polarity;
+          Alcotest.test_case "mte undetermined" `Quick test_mte_undetermined;
+          Alcotest.test_case "retention input float" `Quick test_retention_input_float;
+          Alcotest.test_case "crowbar instance" `Quick test_crowbar_instance;
+          Alcotest.test_case "cycle widens to top" `Quick test_cycle_widens;
+          Alcotest.test_case "clock parked, ff held" `Quick test_clock_parked_and_ff_held;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "analyze deterministic" `Quick test_analyze_deterministic;
+          Alcotest.test_case "flow product clean" `Quick test_flow_product_clean;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "document shape" `Quick test_sarif_document;
+          Alcotest.test_case "render deterministic" `Quick test_sarif_deterministic;
+        ] );
+    ]
