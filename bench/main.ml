@@ -696,18 +696,40 @@ let bechamel_benches buf =
     ]
   in
   let counter_value name = Metrics.counter_value (Metrics.counter name) in
-  let counter_rows =
+  (* Arrival-evals per timing update, as quantiles of the sta.update_evals
+     histogram.  Read as before/after hit-count deltas so each row is the
+     distribution of that workload's own updates — identical whether the
+     section runs on a fresh worker store or inline on the shared one. *)
+  let h_update = Metrics.histogram "sta.update_evals" in
+  let instrumented =
     List.map
       (fun (name, f) ->
         let before = List.map (fun (c, _) -> counter_value c) tracked in
+        let hits0 = Metrics.histogram_hits h_update in
         f ();
         let after = List.map (fun (c, _) -> counter_value c) tracked in
-        name :: List.map2 (fun a b -> string_of_int (a - b)) after before)
+        let hits = Array.map2 ( - ) (Metrics.histogram_hits h_update) hits0 in
+        let counters =
+          name :: List.map2 (fun a b -> string_of_int (a - b)) after before
+        in
+        let updates = Array.fold_left ( + ) 0 hits in
+        let q p =
+          if updates = 0 then "-"
+          else Printf.sprintf "%.0f" (Metrics.quantile_of_hits h_update hits p)
+        in
+        (counters, [ name; string_of_int updates; q 0.5; q 0.9; q 0.99 ]))
       workloads
   in
+  let counter_rows = List.map fst instrumented in
   bline buf "per-benchmark counters (one untimed run each):";
   bline buf
     (Text_table.render ~header:("Benchmark" :: List.map snd tracked) counter_rows);
+  bnl buf;
+  bline buf "arrival evals per STA update (same untimed runs):";
+  bline buf
+    (Text_table.render
+       ~header:[ "Benchmark"; "Updates"; "Evals p50"; "Evals p90"; "Evals p99" ]
+       (List.map snd instrumented));
   bnl buf;
   let test =
     Test.make_grouped ~name:"selective-mt"

@@ -31,15 +31,27 @@ module Verify = Smt_verify.Verify
 module Rules = Smt_verify.Rules
 module Waiver = Smt_verify.Waiver
 module Sarif = Smt_verify.Sarif
+module Prof = Smt_obs.Prof
+module Ledger = Smt_obs.Ledger
+module Trend = Smt_obs.Trend
+module Flame = Smt_obs.Flame
 module J = Smt_obs.Obs_json
 
 open Cmdliner
+
+let version = "1.0.0"
+let tool = "smt_flow " ^ version
 
 let lib () = Library.default ()
 
 (* --- observability flags, shared by every subcommand --- *)
 
-type obs = { obs_trace : string option; obs_metrics : string option }
+type obs = {
+  obs_trace : string option;
+  obs_metrics : string option;
+  obs_profile : bool;
+  obs_ledger : string option;
+}
 
 let trace_arg =
   Arg.(
@@ -65,8 +77,27 @@ let log_level_arg =
         ~doc:"Stderr log level: debug|info|warn|error|off.  Overrides the SMT_LOG \
               environment variable.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attribute GC/heap cost (minor/major words, collections, peak heap) to each \
+           flow stage; surfaces as prof.* gauges, a per-stage column block in reports, \
+           and the ledger's per-stage attribution.")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one provenance + QoR record per completed invocation to this JSONL \
+           run ledger (default: the SMT_LEDGER environment variable).  Implies \
+           $(b,--profile).")
+
 let obs_term =
-  let setup trace metrics log_level =
+  let setup trace metrics log_level profile ledger =
     (match log_level with
     | None -> ()
     | Some s -> (
@@ -76,9 +107,12 @@ let obs_term =
         prerr_endline e;
         exit 2));
     if trace <> None then Trace.enable ();
-    { obs_trace = trace; obs_metrics = metrics }
+    let ledger = match ledger with Some _ as l -> l | None -> Ledger.default_path () in
+    let profile = profile || ledger <> None in
+    if profile then Prof.enable ();
+    { obs_trace = trace; obs_metrics = metrics; obs_profile = profile; obs_ledger = ledger }
   in
-  Term.(const setup $ trace_arg $ metrics_arg $ log_level_arg)
+  Term.(const setup $ trace_arg $ metrics_arg $ log_level_arg $ profile_arg $ ledger_arg)
 
 (* Flush the requested observability outputs after the command body ran. *)
 let finish obs =
@@ -92,6 +126,42 @@ let finish obs =
     Metrics.write path;
     Printf.eprintf "metrics written to %s\n%!" path
   | None -> ()
+
+(* Append one provenance+QoR record for a completed invocation.  Only
+   completed work reaches the ledger — aborted flows leave no record, and
+   the truncated line of a crashed append is tolerated by the reader. *)
+let ledger_append obs ~kind ?(tag = "") ?(circuit = "-") ?(technique = "-")
+    ?(guard = "off") ?(jobs = 1) workloads =
+  match obs.obs_ledger with
+  | None -> ()
+  | Some path ->
+    let r =
+      Ledger.make ~time:(Ledger.clock ()) ~tool ~tag ~circuit ~technique ~guard ~jobs
+        ~args:(List.tl (Array.to_list Sys.argv))
+        ~kind workloads
+    in
+    Ledger.append path r;
+    Printf.eprintf "ledger: appended record %s to %s\n%!" r.Ledger.r_id path
+
+(* The run-ledger form of one completed flow report: QoR fields, counter
+   deltas over the run, stage wall-clock, and — when profiling — the
+   per-stage GC attribution. *)
+let ledger_workload_of_report ~name ~before (r : Flow.report) =
+  let workload =
+    Smt_obs.Snapshot.workload ~name
+      ~qor:(Smt_core.Qor.qor_of r)
+      ~counters:(Smt_core.Qor.counter_delta ~before ~after:(Metrics.counters ()))
+      ~stage_ms:
+        (List.map (fun (s : Flow.stage) -> (s.Flow.stage_name, s.Flow.stage_ms)) r.Flow.stages)
+  in
+  {
+    Ledger.lw_workload = workload;
+    Ledger.lw_prof =
+      List.filter_map
+        (fun (s : Flow.stage) ->
+          Option.map (fun p -> (s.Flow.stage_name, p)) s.Flow.stage_prof)
+        r.Flow.stages;
+  }
 
 let generator_of name =
   match List.assoc_opt name Suite.all with
@@ -209,6 +279,7 @@ let run_cmd =
         { (options_of ~retention ~sizing seed bounce length cells) with Flow.guard }
       in
       let nl = gen (lib ()) in
+      let before = Metrics.counters () in
       (match Flow.run ~options t nl with
       | report ->
         Format.printf "%a@." Flow.pp_report report;
@@ -218,6 +289,12 @@ let run_cmd =
           Smt_netlist.Writer.to_file nl path;
           Printf.printf "netlist written to %s\n" path
         | None -> ());
+        let name =
+          Printf.sprintf "%s/%s" circuit (Smt_core.Qor.technique_slug t)
+        in
+        ledger_append obs ~kind:"run" ~circuit ~technique:(Smt_core.Qor.technique_slug t)
+          ~guard:(Flow.guard_name guard)
+          [ ledger_workload_of_report ~name ~before report ];
         finish obs;
         if guard <> Flow.Guard_off && Drc.has_errors (Drc.check nl) then exit 1
       | exception Flow.Flow_error e ->
@@ -263,14 +340,22 @@ let stages_cmd =
       exit 2
     | Ok gen ->
       let options = options_of seed bounce length cells in
+      let before = Metrics.counters () in
       let report = Flow.run ~options Flow.Improved_smt (gen (lib ())) in
       Printf.printf "Improved Selective-MT flow on %s (clock %.1f ps)\n\n"
         report.Flow.circuit report.Flow.clock_period;
+      (* With --profile, a GC-attribution column block rides the table:
+         words allocated (minor/major) and collections charged per stage. *)
+      let prof_cols =
+        obs.obs_profile
+        && List.exists (fun (s : Flow.stage) -> s.Flow.stage_prof <> None) report.Flow.stages
+      in
       let header =
         [
           "Stage"; "Area um^2"; "Standby nW"; "WNS ps"; "Bounce V"; "Switches"; "Holders";
           "ms";
         ]
+        @ (if prof_cols then [ "Minor Mw"; "Major Mw"; "GC min"; "GC maj" ] else [])
       in
       let rows =
         List.map
@@ -284,10 +369,24 @@ let stages_cmd =
               string_of_int s.Flow.stage_switches;
               string_of_int s.Flow.stage_holders;
               Printf.sprintf "%.1f" s.Flow.stage_ms;
-            ])
+            ]
+            @
+            if not prof_cols then []
+            else
+              match s.Flow.stage_prof with
+              | None -> [ "-"; "-"; "-"; "-" ]
+              | Some p ->
+                [
+                  Printf.sprintf "%.2f" (p.Prof.minor_words /. 1e6);
+                  Printf.sprintf "%.2f" (p.Prof.major_words /. 1e6);
+                  string_of_int p.Prof.minor_collections;
+                  string_of_int p.Prof.major_collections;
+                ])
           report.Flow.stages
       in
       print_endline (Smt_util.Text_table.render ~header rows);
+      ledger_append obs ~kind:"run" ~circuit ~technique:"improved"
+        [ ledger_workload_of_report ~name:(circuit ^ "/improved") ~before report ];
       finish obs
   in
   Cmd.v (Cmd.info "stages" ~doc:"Show per-stage metrics of the improved flow (the paper's Fig. 4)")
@@ -398,12 +497,14 @@ let explain_cmd =
 
 let bench_snapshot_cmd =
   let run obs seed jobs tag out =
-    let snap = Smt_core.Qor.collect ~seed ~jobs:(jobs_of jobs) ~tag () in
+    let jobs = jobs_of jobs in
+    let snap, workloads = Smt_core.Qor.collect_ledger ~seed ~jobs ~tag () in
     let path = match out with Some p -> p | None -> Printf.sprintf "BENCH_%s.json" tag in
     Smt_obs.Snapshot.write path snap;
     Printf.printf "snapshot %s (%d workloads) written to %s\n" tag
       (List.length snap.Smt_obs.Snapshot.s_workloads)
       path;
+    ledger_append obs ~kind:"bench" ~tag ~jobs workloads;
     finish obs
   in
   let tag_arg =
@@ -681,6 +782,21 @@ let lint_cmd =
       J.to_file path (Sarif.render workloads);
       Printf.eprintf "SARIF written to %s\n%!" path
     | None -> ());
+    ledger_append obs ~kind:"lint" ~technique:suffix ~jobs
+      (List.map
+         (fun (wl : Sarif.workload) ->
+           {
+             Ledger.lw_workload =
+               Smt_obs.Snapshot.workload ~name:wl.Sarif.wl_name
+                 ~qor:
+                   [
+                     ("findings", float_of_int (List.length wl.Sarif.wl_findings));
+                     ("waived", float_of_int (List.length wl.Sarif.wl_waived));
+                   ]
+                 ~counters:[] ~stage_ms:[];
+             Ledger.lw_prof = [];
+           })
+         workloads);
     finish obs;
     if List.exists (fun (wl : Sarif.workload) -> Rules.has_errors wl.Sarif.wl_findings) workloads
     then exit 1
@@ -738,13 +854,276 @@ let lint_cmd =
       const run $ obs_term $ circuits_arg $ technique_arg $ seed_arg $ raw_arg $ jobs_arg
       $ format_arg $ sarif_out_arg $ waivers_arg $ fault_arg $ fault_seed_arg)
 
+(* --- run-ledger inspection: smt_flow runs {list,show,trend,gc} --- *)
+
+let runs_ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"Run ledger to read (default: the SMT_LEDGER environment variable).")
+
+let ledger_path_of = function
+  | Some p -> p
+  | None -> (
+    match Ledger.default_path () with
+    | Some p -> p
+    | None ->
+      prerr_endline "no ledger: pass --ledger FILE or set SMT_LEDGER";
+      exit 2)
+
+let read_ledger_or_die path =
+  match Ledger.read path with
+  | Ok r -> r
+  | Error e ->
+    Printf.eprintf "cannot read ledger %s: %s\n" path e;
+    exit 2
+
+let time_str t =
+  if Float.is_integer t && Float.abs t < 1e15 then Printf.sprintf "%.0f" t
+  else Printf.sprintf "%.3f" t
+
+let runs_list_cmd =
+  let run ledger kind =
+    let path = ledger_path_of ledger in
+    let { Ledger.records; skipped } = read_ledger_or_die path in
+    let records =
+      match kind with
+      | None -> records
+      | Some k -> List.filter (fun (r : Ledger.record) -> r.Ledger.r_kind = k) records
+    in
+    let header =
+      [ "Id"; "Time"; "Kind"; "Tag"; "Circuit"; "Technique"; "Guard"; "Jobs"; "Workloads" ]
+    in
+    let rows =
+      List.map
+        (fun (r : Ledger.record) ->
+          [
+            r.Ledger.r_id; time_str r.Ledger.r_time; r.Ledger.r_kind; r.Ledger.r_tag;
+            r.Ledger.r_circuit; r.Ledger.r_technique; r.Ledger.r_guard;
+            string_of_int r.Ledger.r_jobs;
+            string_of_int (List.length r.Ledger.r_workloads);
+          ])
+        records
+    in
+    if rows <> [] then print_endline (Smt_util.Text_table.render ~header rows);
+    if skipped > 0 then
+      Printf.printf "(%d malformed line%s skipped)\n" skipped (if skipped = 1 then "" else "s");
+    Printf.printf "%d record%s\n" (List.length records)
+      (if List.length records = 1 then "" else "s")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Only records of this kind (run|bench|lint).")
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the ledger's records, oldest first")
+    Term.(const run $ runs_ledger_arg $ kind_arg)
+
+let runs_show_cmd =
+  let run ledger id =
+    let path = ledger_path_of ledger in
+    match Ledger.find path id with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok r ->
+      Printf.printf "record %s (schema v%d)\n" r.Ledger.r_id r.Ledger.r_version;
+      Printf.printf "  time      %s\n" (time_str r.Ledger.r_time);
+      Printf.printf "  tool      %s\n" r.Ledger.r_tool;
+      Printf.printf "  kind      %s\n" r.Ledger.r_kind;
+      if r.Ledger.r_tag <> "" then Printf.printf "  tag       %s\n" r.Ledger.r_tag;
+      Printf.printf "  circuit   %s\n" r.Ledger.r_circuit;
+      Printf.printf "  technique %s\n" r.Ledger.r_technique;
+      Printf.printf "  guard     %s\n" r.Ledger.r_guard;
+      Printf.printf "  jobs      %d\n" r.Ledger.r_jobs;
+      Printf.printf "  args_hash %s\n" r.Ledger.r_args_hash;
+      List.iter
+        (fun (lw : Ledger.workload) ->
+          let w = lw.Ledger.lw_workload in
+          Printf.printf "\nworkload %s\n" w.Smt_obs.Snapshot.w_name;
+          List.iter
+            (fun (k, v) -> Printf.printf "  qor.%s = %s\n" k (time_str v))
+            w.Smt_obs.Snapshot.w_qor;
+          List.iter
+            (fun (k, v) -> Printf.printf "  counter.%s = %d\n" k v)
+            w.Smt_obs.Snapshot.w_counters;
+          List.iter
+            (fun (stage, ms) ->
+              let prof =
+                match List.assoc_opt stage lw.Ledger.lw_prof with
+                | None -> ""
+                | Some (p : Prof.stats) ->
+                  Printf.sprintf " [minor %.2f Mw, major %.2f Mw, gc %d/%d]"
+                    (p.Prof.minor_words /. 1e6)
+                    (p.Prof.major_words /. 1e6)
+                    p.Prof.minor_collections p.Prof.major_collections
+              in
+              Printf.printf "  stage %-55s %8.1f ms%s\n" stage ms prof)
+            w.Smt_obs.Snapshot.w_stage_ms)
+        r.Ledger.r_workloads
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Record id.")
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Show one ledger record in full")
+    Term.(const run $ runs_ledger_arg $ id_arg)
+
+let runs_trend_cmd =
+  let run ledger snapshot_dir metric workload all json gate jobs =
+    let jobs = jobs_of jobs in
+    let records =
+      match snapshot_dir with
+      | Some dir -> (
+        match Trend.of_snapshot_dir dir with
+        | Ok rs -> rs
+        | Error e ->
+          Printf.eprintf "cannot read snapshot dir %s: %s\n" dir e;
+          exit 2)
+      | None -> (read_ledger_or_die (ledger_path_of ledger)).Ledger.records
+    in
+    (* Fan the per-workload analysis out over domains; concatenating in
+       input order keeps the output byte-identical at any job count. *)
+    let series =
+      List.concat
+        (Smt_obs.Par.map ~jobs
+           (Trend.analyze_workload ~metric ~qor_only:(not all) records)
+           (Trend.workload_names ~filter:workload records))
+    in
+    if json then print_endline (Trend.to_json series)
+    else begin
+      if series <> [] then print_endline (Trend.render series);
+      print_string (Trend.render_regressions records)
+    end;
+    if gate && Trend.has_regressions records then exit 1
+  in
+  let snapshot_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:"Analyze a directory of BENCH_*.json snapshots (filename order) instead \
+                of a ledger.")
+  in
+  let metric_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "metric" ] ~docv:"SUBSTR" ~doc:"Only metrics containing this substring.")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "workload" ] ~docv:"SUBSTR" ~doc:"Only workloads containing this substring.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Include counter.* and stage_ms.* series, not just qor.* (no effect when \
+                --metric is given).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the series as JSON instead of a table.")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:"Exit 1 when any adjacent-record transition classifies as a regression \
+                under the bench-compare rules.")
+  in
+  Cmd.v
+    (Cmd.info "trend"
+       ~doc:
+         "Per-workload, per-metric time series over the ledger: first/latest/best/worst \
+          values and a Regression/Advisory classification of every adjacent-record \
+          transition, reusing the bench-compare rules.")
+    Term.(
+      const run $ runs_ledger_arg $ snapshot_dir_arg $ metric_arg $ workload_arg $ all_arg
+      $ json_arg $ gate_arg $ jobs_arg)
+
+let runs_gc_cmd =
+  let run ledger keep =
+    let path = ledger_path_of ledger in
+    match Ledger.gc ?keep path with
+    | Error e ->
+      Printf.eprintf "ledger gc: %s\n" e;
+      exit 2
+    | Ok g ->
+      Printf.printf "ledger gc: kept %d record%s, dropped %d malformed line%s, %d old record%s\n"
+        g.Ledger.kept
+        (if g.Ledger.kept = 1 then "" else "s")
+        g.Ledger.dropped_malformed
+        (if g.Ledger.dropped_malformed = 1 then "" else "s")
+        g.Ledger.dropped_old
+        (if g.Ledger.dropped_old = 1 then "" else "s")
+  in
+  let keep_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep" ] ~docv:"N" ~doc:"Also drop all but the newest $(docv) records.")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Rewrite the ledger dropping malformed (truncated) lines and, with --keep, \
+             old records.")
+    Term.(const run $ runs_ledger_arg $ keep_arg)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:
+         "Inspect the persistent run ledger: list records, show one in full, chart \
+          QoR trends with regression detection, or compact the file.")
+    [ runs_list_cmd; runs_show_cmd; runs_trend_cmd; runs_gc_cmd ]
+
+let flame_cmd =
+  let run trace out =
+    match Flame.of_file trace with
+    | Error e ->
+      Printf.eprintf "flame: %s\n" e;
+      exit 2
+    | Ok folded ->
+      let rendered = Flame.render folded in
+      (match out with
+      | Some path ->
+        J.to_file path rendered;
+        Printf.eprintf "folded stacks written to %s (%d stacks)\n%!" path
+          (List.length folded)
+      | None -> print_string rendered)
+  in
+  let trace_pos_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Chrome trace_event JSON written by --trace.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+  in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "Convert a --trace Chrome trace into folded-stacks format (one \
+          'root;child;leaf <self-us>' line per stack, flamegraph.pl / speedscope / \
+          inferno input).  Nesting is rebuilt from span time containment per thread; \
+          identical stacks merge across threads, so the output is stable under worker \
+          placement.")
+    Term.(const run $ trace_pos_arg $ out_arg)
+
 let main =
   Cmd.group
-    (Cmd.info "smt_flow" ~version:"1.0.0"
+    (Cmd.info "smt_flow" ~version
        ~doc:"Selective multi-threshold CMOS design flows (DATE 2005 reproduction)")
     [
       run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; explain_cmd;
-      bench_snapshot_cmd; bench_compare_cmd; check_cmd; lint_cmd; list_cmd;
+      bench_snapshot_cmd; bench_compare_cmd; check_cmd; lint_cmd; list_cmd; runs_cmd;
+      flame_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -14,6 +14,7 @@ module Cell = Smt_cell.Cell
 module Vth = Smt_cell.Vth
 module Trace = Smt_obs.Trace
 module Metrics = Smt_obs.Metrics
+module Prof = Smt_obs.Prof
 module Log = Smt_obs.Log
 module Par = Smt_obs.Par
 module Drc = Smt_check.Drc
@@ -124,6 +125,7 @@ type stage = {
   stage_switches : int;
   stage_holders : int;
   stage_ms : float;
+  stage_prof : Smt_obs.Prof.stats option;
 }
 
 type report = {
@@ -210,6 +212,9 @@ let run_with_artifacts ?(options = default_options) technique nl =
   (* Each stage span runs from the previous snapshot to this one, so the
      snapshot's own closing STA is billed to the stage that required it. *)
   let mark = ref (Trace.now_us ()) in
+  (* GC attribution follows the same mark discipline: each stage is charged
+     the allocation between the previous snapshot and its own. *)
+  let pmark = ref (Prof.mark ()) in
   let prev = ref None in
   let place =
     Placement.place ~seed:options.seed ~utilization:options.utilization
@@ -371,6 +376,8 @@ let run_with_artifacts ?(options = default_options) technique nl =
             ("wns", Printf.sprintf "%.1f" wns);
           ];
     mark := now;
+    let pstats = Prof.record name !pmark in
+    pmark := Prof.mark ();
     stages :=
       {
         stage_name = name;
@@ -381,6 +388,7 @@ let run_with_artifacts ?(options = default_options) technique nl =
         stage_switches = stats.Nl_stats.sleep_switches;
         stage_holders = stats.Nl_stats.holders;
         stage_ms = dur_us /. 1000.0;
+        stage_prof = pstats;
       }
       :: !stages;
     guard_check name

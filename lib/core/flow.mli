@@ -107,6 +107,9 @@ type stage = {
   stage_switches : int;
   stage_holders : int;
   stage_ms : float;  (** wall-clock time from the previous snapshot to this one *)
+  stage_prof : Smt_obs.Prof.stats option;
+      (** GC/heap cost over the same interval; [None] unless profiling
+          ({!Smt_obs.Prof.enable}, CLI [--profile]) was on *)
 }
 
 type report = {

@@ -39,10 +39,27 @@ let run_workload ~options (name, gen, t) =
   let before = Metrics.counters () in
   let r = Flow.run ~options t (gen (Library.default ())) in
   let after = Metrics.counters () in
-  Snapshot.workload ~name ~qor:(qor_of r)
-    ~counters:(counter_delta ~before ~after)
-    ~stage_ms:(List.map (fun (s : Flow.stage) -> (s.Flow.stage_name, s.Flow.stage_ms)) r.Flow.stages)
+  let workload =
+    Snapshot.workload ~name ~qor:(qor_of r)
+      ~counters:(counter_delta ~before ~after)
+      ~stage_ms:
+        (List.map (fun (s : Flow.stage) -> (s.Flow.stage_name, s.Flow.stage_ms)) r.Flow.stages)
+  in
+  {
+    Smt_obs.Ledger.lw_workload = workload;
+    Smt_obs.Ledger.lw_prof =
+      List.filter_map
+        (fun (s : Flow.stage) ->
+          Option.map (fun p -> (s.Flow.stage_name, p)) s.Flow.stage_prof)
+        r.Flow.stages;
+  }
 
-let collect ?(seed = 1) ?(jobs = 1) ~tag () =
+let collect_ledger ?(seed = 1) ?(jobs = 1) ~tag () =
   let options = { Flow.default_options with Flow.seed } in
-  Snapshot.make ~tag (Smt_obs.Par.map ~jobs (run_workload ~options) default_workloads)
+  let workloads = Smt_obs.Par.map ~jobs (run_workload ~options) default_workloads in
+  let snapshot =
+    Snapshot.make ~tag (List.map (fun lw -> lw.Smt_obs.Ledger.lw_workload) workloads)
+  in
+  (snapshot, workloads)
+
+let collect ?seed ?jobs ~tag () = fst (collect_ledger ?seed ?jobs ~tag ())

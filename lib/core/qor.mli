@@ -29,6 +29,17 @@ val qor_of : Flow.report -> (string * float) list
 (** The snapshot's QoR fields for one report: area, standby leakage, WNS,
     cluster/switch/holder/MT-cell counts, total switch width. *)
 
+val collect_ledger :
+  ?seed:int ->
+  ?jobs:int ->
+  tag:string ->
+  unit ->
+  Smt_obs.Snapshot.t * Smt_obs.Ledger.workload list
+(** [collect] plus the same workloads in run-ledger form, carrying the
+    per-stage GC attribution from {!Smt_obs.Prof} when profiling was on
+    (empty attribution otherwise).  This is what [bench-snapshot
+    --ledger] appends. *)
+
 val collect : ?seed:int -> ?jobs:int -> tag:string -> unit -> Smt_obs.Snapshot.t
 (** Run every default workload (seed 1 by default) and assemble the
     snapshot.  Mutates the calling domain's metrics store as a side

@@ -24,17 +24,26 @@ let leakage_json (l : Leakage.breakdown) =
     ]
 
 let stage_json (s : Flow.stage) =
+  (* The prof block appears only when profiling was on, so unprofiled
+     reports stay byte-identical to earlier builds (same convention as the
+     guard's check block below). *)
+  let prof_fields =
+    match s.Flow.stage_prof with
+    | None -> []
+    | Some p -> [ ("prof", Smt_obs.Prof.stats_json p) ]
+  in
   obj
-    [
-      ("name", str s.Flow.stage_name);
-      ("area", num s.Flow.stage_area);
-      ("standby_nw", num s.Flow.stage_standby_nw);
-      ("wns_ps", num s.Flow.stage_wns);
-      ("worst_bounce_v", num s.Flow.stage_worst_bounce);
-      ("switches", string_of_int s.Flow.stage_switches);
-      ("holders", string_of_int s.Flow.stage_holders);
-      ("duration_ms", num s.Flow.stage_ms);
-    ]
+    ([
+       ("name", str s.Flow.stage_name);
+       ("area", num s.Flow.stage_area);
+       ("standby_nw", num s.Flow.stage_standby_nw);
+       ("wns_ps", num s.Flow.stage_wns);
+       ("worst_bounce_v", num s.Flow.stage_worst_bounce);
+       ("switches", string_of_int s.Flow.stage_switches);
+       ("holders", string_of_int s.Flow.stage_holders);
+       ("duration_ms", num s.Flow.stage_ms);
+     ]
+    @ prof_fields)
 
 let of_report (r : Flow.report) =
   (* Guard results appear only when a guard actually recorded something, so

@@ -1,0 +1,272 @@
+(* Append-only JSONL run store.  One line per completed invocation; writes
+   are single [write]s to an O_APPEND descriptor under an advisory lock on
+   a sibling [.lock] file, so concurrent flows (domains or processes) can
+   share one ledger without interleaving partial lines.  The reader is
+   deliberately forgiving: a line that does not parse — typically the
+   truncated tail of a run that died mid-append — is counted and skipped,
+   never fatal. *)
+
+let schema_version = 1
+
+type workload = {
+  lw_workload : Snapshot.workload;
+  lw_prof : (string * Prof.stats) list;  (* stage name -> GC attribution *)
+}
+
+type record = {
+  r_version : int;
+  r_id : string;  (* 12-hex digest of the canonical payload *)
+  r_time : float;  (* unix seconds, injected by the caller *)
+  r_tool : string;
+  r_kind : string;  (* "run" | "bench" | "lint" *)
+  r_tag : string;
+  r_circuit : string;
+  r_technique : string;
+  r_guard : string;
+  r_jobs : int;
+  r_args_hash : string;
+  r_workloads : workload list;
+}
+
+let default_path () = Sys.getenv_opt "SMT_LEDGER"
+
+let clock () =
+  match Sys.getenv_opt "SMT_CLOCK" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some t -> t
+    | None -> Unix.gettimeofday ())
+  | None -> Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let workload_json w =
+  let base = Snapshot.workload_json w.lw_workload in
+  match w.lw_prof with
+  | [] -> base
+  | prof ->
+    (* Splice the prof object into the workload object: the base emitter
+       closes with '}', the prof block rides behind the last field. *)
+    let prof_json =
+      Obs_json.obj (List.map (fun (stage, st) -> (stage, Prof.stats_json st)) prof)
+    in
+    String.sub base 0 (String.length base - 1) ^ ",\"prof\":" ^ prof_json ^ "}"
+
+let payload_json r =
+  Obs_json.obj
+    [
+      ("schema_version", string_of_int r.r_version);
+      ("time", Obs_json.num_exact r.r_time);
+      ("tool", Obs_json.str r.r_tool);
+      ("kind", Obs_json.str r.r_kind);
+      ("tag", Obs_json.str r.r_tag);
+      ("circuit", Obs_json.str r.r_circuit);
+      ("technique", Obs_json.str r.r_technique);
+      ("guard", Obs_json.str r.r_guard);
+      ("jobs", string_of_int r.r_jobs);
+      ("args_hash", Obs_json.str r.r_args_hash);
+      ("workloads", Obs_json.arr (List.map workload_json r.r_workloads));
+    ]
+
+let to_json r =
+  let p = payload_json r in
+  "{\"id\":" ^ Obs_json.str r.r_id ^ "," ^ String.sub p 1 (String.length p - 1)
+
+let short_digest s = String.sub (Digest.to_hex (Digest.string s)) 0 12
+
+let make ?(time = clock ()) ?(tool = "smt_flow") ?(tag = "") ?(circuit = "-")
+    ?(technique = "-") ?(guard = "off") ?(jobs = 1) ?(args = []) ~kind workloads =
+  let r =
+    {
+      r_version = schema_version;
+      r_id = "";
+      r_time = time;
+      r_tool = tool;
+      r_kind = kind;
+      r_tag = tag;
+      r_circuit = circuit;
+      r_technique = technique;
+      r_guard = guard;
+      r_jobs = jobs;
+      r_args_hash = short_digest (String.concat "\x00" args);
+      r_workloads = workloads;
+    }
+  in
+  { r with r_id = short_digest (payload_json r) }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let str_of name doc =
+  match Obs_json.member name doc with
+  | Some v -> (
+    match Obs_json.to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "ledger: field %S is not a string" name))
+  | None -> Error (Printf.sprintf "ledger: missing field %S" name)
+
+let num_of name doc =
+  match Obs_json.member name doc with
+  | Some v -> (
+    match Obs_json.to_num v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "ledger: field %S is not a number" name))
+  | None -> Error (Printf.sprintf "ledger: missing field %S" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let workload_of_json doc =
+  let* w = Snapshot.workload_of_json doc in
+  let* prof =
+    match Obs_json.member "prof" doc with
+    | None -> Ok []
+    | Some (Obs_json.Obj fields) ->
+      map_result
+        (fun (stage, v) ->
+          let* st = Prof.stats_of_json v in
+          Ok (stage, st))
+        fields
+    | Some _ -> Error "ledger: workload prof is not an object"
+  in
+  Ok { lw_workload = w; lw_prof = prof }
+
+let of_json doc =
+  let* version = num_of "schema_version" doc in
+  let* id = str_of "id" doc in
+  let* time = num_of "time" doc in
+  let* tool = str_of "tool" doc in
+  let* kind = str_of "kind" doc in
+  let* tag = str_of "tag" doc in
+  let* circuit = str_of "circuit" doc in
+  let* technique = str_of "technique" doc in
+  let* guard = str_of "guard" doc in
+  let* jobs = num_of "jobs" doc in
+  let* args_hash = str_of "args_hash" doc in
+  let* workloads =
+    match Obs_json.member "workloads" doc with
+    | Some (Obs_json.Arr items) -> map_result workload_of_json items
+    | Some _ -> Error "ledger: workloads is not an array"
+    | None -> Error "ledger: missing field \"workloads\""
+  in
+  Ok
+    {
+      r_version = int_of_float version;
+      r_id = id;
+      r_time = time;
+      r_tool = tool;
+      r_kind = kind;
+      r_tag = tag;
+      r_circuit = circuit;
+      r_technique = technique;
+      r_guard = guard;
+      r_jobs = int_of_float jobs;
+      r_args_hash = args_hash;
+      r_workloads = workloads;
+    }
+
+let of_line line =
+  match Obs_json.parse line with Ok doc -> of_json doc | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* File I/O                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_lock path f =
+  let lock = path ^ ".lock" in
+  let fd = Unix.openfile lock [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      Fun.protect
+        ~finally:(fun () -> try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+        f)
+
+let append path r =
+  with_lock path (fun () ->
+      let fd =
+        Unix.openfile path [ Unix.O_CREAT; Unix.O_WRONLY; Unix.O_APPEND ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let line = to_json r ^ "\n" in
+          let b = Bytes.of_string line in
+          let n = Unix.write fd b 0 (Bytes.length b) in
+          if n <> Bytes.length b then failwith "ledger: short write"))
+
+type read_result = { records : record list; skipped : int }
+
+let read path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let records = ref [] and skipped = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match of_line line with
+              | Ok r -> records := r :: !records
+              | Error _ -> incr skipped
+          done
+        with End_of_file -> ());
+    Ok { records = List.rev !records; skipped = !skipped }
+
+let find path id =
+  match read path with
+  | Error e -> Error e
+  | Ok { records; _ } -> (
+    match List.find_opt (fun r -> r.r_id = id) records with
+    | Some r -> Ok r
+    | None -> Error (Printf.sprintf "no record with id %s in %s" id path))
+
+type gc_result = { kept : int; dropped_malformed : int; dropped_old : int }
+
+let gc ?keep path =
+  with_lock path (fun () ->
+      match open_in path with
+      | exception Sys_error e -> Error e
+      | ic ->
+        let records = ref [] and malformed = ref 0 in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            try
+              while true do
+                let line = input_line ic in
+                if String.trim line <> "" then
+                  match of_line line with
+                  | Ok r -> records := r :: !records
+                  | Error _ -> incr malformed
+              done
+            with End_of_file -> ());
+        let records = List.rev !records in
+        let dropped_old, records =
+          match keep with
+          | Some k when k >= 0 && List.length records > k ->
+            let n = List.length records in
+            (n - k, List.filteri (fun i _ -> i >= n - k) records)
+          | _ -> (0, records)
+        in
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun r ->
+                output_string oc (to_json r);
+                output_char oc '\n')
+              records);
+        Sys.rename tmp path;
+        Ok { kept = List.length records; dropped_malformed = !malformed; dropped_old })

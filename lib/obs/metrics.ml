@@ -164,6 +164,41 @@ let hist_values st h =
 let histogram_count h = let n, _, _ = hist_values (store ()) h in n
 let histogram_sum h = let _, s, _ = hist_values (store ()) h in s
 
+let histogram_hits h =
+  let _, _, hits = hist_values (store ()) h in
+  Array.copy hits
+
+(* Prometheus-style bucket quantile: find the bucket holding rank q*n in
+   the cumulative hit counts, then interpolate linearly inside it (the
+   open +inf bucket degrades to its lower bound — the largest finite
+   boundary).  Purely a function of the hit counts, so callers can feed
+   before/after deltas for a deterministic per-phase readout. *)
+let quantile_of bounds hits q =
+  let n = Array.fold_left ( + ) 0 hits in
+  if n = 0 then nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = q *. float_of_int n in
+    let k = Array.length bounds in
+    let rec go i cum =
+      if i > k then nan
+      else
+        let cum' = cum + hits.(i) in
+        if float_of_int cum' >= rank && cum' > 0 then
+          let lo = if i = 0 then 0.0 else bounds.(i - 1) in
+          if i = k || hits.(i) = 0 then lo
+          else
+            lo
+            +. (bounds.(i) -. lo)
+               *. ((rank -. float_of_int cum) /. float_of_int hits.(i))
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+let quantile_of_hits h hits q = quantile_of h.h_bounds hits q
+let histogram_quantile h q = quantile_of h.h_bounds (histogram_hits h) q
+
 (* Scoped collection: run [f] against a fresh store, hand the store back. *)
 
 let collect f =
@@ -241,8 +276,14 @@ let snapshot () =
       | Gauge g ->
         [ (g.g_name, if g.g_id < Array.length st.st_gauges then st.st_gauges.(g.g_id) else 0.0) ]
       | Histogram h ->
-        let n, sum, _ = hist_values st h in
-        [ (h.h_name ^ ".count", float_of_int n); (h.h_name ^ ".sum", sum) ])
+        let n, sum, hits = hist_values st h in
+        [
+          (h.h_name ^ ".count", float_of_int n);
+          (h.h_name ^ ".sum", sum);
+          (h.h_name ^ ".p50", quantile_of h.h_bounds hits 0.5);
+          (h.h_name ^ ".p90", quantile_of h.h_bounds hits 0.9);
+          (h.h_name ^ ".p99", quantile_of h.h_bounds hits 0.99);
+        ])
     (instruments ())
   |> sorted
 
@@ -274,6 +315,9 @@ let to_json () =
               [
                 ("count", string_of_int n);
                 ("sum", Obs_json.num sum);
+                ("p50", Obs_json.num (quantile_of h.h_bounds hits 0.5));
+                ("p90", Obs_json.num (quantile_of h.h_bounds hits 0.9));
+                ("p99", Obs_json.num (quantile_of h.h_bounds hits 0.99));
                 ("buckets", Obs_json.arr buckets);
               ] )
           :: !histograms)

@@ -46,6 +46,21 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val histogram_hits : histogram -> int array
+(** A copy of the calling domain's per-bucket hit counts, one slot per
+    bound plus the trailing [+inf] bucket.  Subtracting two snapshots
+    gives the hits of just the phase between them. *)
+
+val quantile_of_hits : histogram -> int array -> float -> float
+(** [quantile_of_hits h hits q] — Prometheus-style bucket quantile
+    (linear interpolation within the winning bucket; the open [+inf]
+    bucket reports its lower bound) computed over an explicit hit-count
+    array, e.g. a before/after delta of {!histogram_hits}.  [nan] when
+    the hits are empty. *)
+
+val histogram_quantile : histogram -> float -> float
+(** [quantile_of_hits h (histogram_hits h) q]. *)
+
 val counters : unit -> (string * int) list
 (** Current value of every registered counter, sorted by name.  Counters
     are the deterministic "work done" instruments (arrival evaluations,
@@ -54,7 +69,8 @@ val counters : unit -> (string * int) list
 
 val snapshot : unit -> (string * float) list
 (** Current value of every instrument, sorted by name.  Histograms
-    contribute [name.count] and [name.sum]. *)
+    contribute [name.count], [name.sum], and estimated [name.p50] /
+    [name.p90] / [name.p99] quantiles ([nan] while empty). *)
 
 val reset : unit -> unit
 (** Zero every registered instrument in the calling domain's store

@@ -4,16 +4,22 @@ let map ~jobs f xs =
     let packed =
       Smt_util.Pool.map ~jobs
         (fun x ->
-          let (y, mcol), tev = Trace.collect (fun () -> Metrics.collect (fun () -> f x)) in
-          (y, mcol, tev))
+          let ((y, mcol), tev), pcol =
+            Prof.collect (fun () ->
+                Trace.collect (fun () -> Metrics.collect (fun () -> f x)))
+          in
+          (y, mcol, tev, pcol))
         xs
     in
     (* Merge in input order: additive instruments are order-independent,
-       gauges become last-write-wins exactly as in a sequential run. *)
+       gauges become last-write-wins exactly as in a sequential run.
+       Prof merges after Metrics so the re-published prof gauges reflect
+       the accumulated totals, not the last job's slice. *)
     List.mapi
-      (fun idx (y, mcol, tev) ->
+      (fun idx (y, mcol, tev, pcol) ->
         Metrics.merge mcol;
         Trace.absorb ~tid:(2 + idx) tev;
+        Prof.merge pcol;
         y)
       packed
   end

@@ -1,0 +1,173 @@
+(* Like [Trace], the on/off switch is global (one [--profile] flag governs
+   every domain) and the accumulator is per-domain, so concurrent workers
+   attribute GC work without contention.  A span's cost is the difference
+   of two [Gc.quick_stat] samples; [quick_stat] reads the calling domain's
+   allocation counters without walking the heap, so an enabled profile
+   stays cheap enough to leave on for whole benchmark sweeps. *)
+
+type stats = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  top_heap_words : int;  (* peak heap observed at span close, words *)
+}
+
+let zero =
+  {
+    minor_words = 0.0;
+    promoted_words = 0.0;
+    major_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+    top_heap_words = 0;
+  }
+
+let add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    major_words = a.major_words +. b.major_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+    compactions = a.compactions + b.compactions;
+    top_heap_words = max a.top_heap_words b.top_heap_words;
+  }
+
+let recording = Atomic.make false
+
+let enable () = Atomic.set recording true
+let disable () = Atomic.set recording false
+let enabled () = Atomic.get recording
+
+(* Per-domain accumulator: span name -> running stats. *)
+
+type store = (string, stats) Hashtbl.t
+
+type collected = store
+
+let store_key : store Domain.DLS.key = Domain.DLS.new_key (fun () -> Hashtbl.create 17)
+let store () = Domain.DLS.get store_key
+
+type mark = Gc.stat option
+
+let mark () = if Atomic.get recording then Some (Gc.quick_stat ()) else None
+
+(* Mirrors [Flow.slug]: stage names become metric-name components. *)
+let slug name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c else '_')
+    (String.lowercase_ascii name)
+
+let gauges name st =
+  let s = slug name in
+  let set field v = Metrics.set (Metrics.gauge ("prof." ^ s ^ "." ^ field)) v in
+  set "minor_words" st.minor_words;
+  set "promoted_words" st.promoted_words;
+  set "major_words" st.major_words;
+  set "minor_collections" (float_of_int st.minor_collections);
+  set "major_collections" (float_of_int st.major_collections);
+  set "compactions" (float_of_int st.compactions);
+  set "top_heap_words" (float_of_int st.top_heap_words)
+
+let record name m =
+  match m with
+  | None -> None
+  | Some (s0 : Gc.stat) ->
+    let s1 = Gc.quick_stat () in
+    let d =
+      {
+        minor_words = s1.Gc.minor_words -. s0.Gc.minor_words;
+        promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+        major_words = s1.Gc.major_words -. s0.Gc.major_words;
+        minor_collections = s1.Gc.minor_collections - s0.Gc.minor_collections;
+        major_collections = s1.Gc.major_collections - s0.Gc.major_collections;
+        compactions = s1.Gc.compactions - s0.Gc.compactions;
+        top_heap_words = s1.Gc.top_heap_words;
+      }
+    in
+    let st = store () in
+    let acc = match Hashtbl.find_opt st name with Some a -> add a d | None -> d in
+    Hashtbl.replace st name acc;
+    gauges name acc;
+    Some d
+
+let with_span name f =
+  if not (Atomic.get recording) then f ()
+  else begin
+    let m = mark () in
+    Fun.protect ~finally:(fun () -> ignore (record name m)) f
+  end
+
+let spans () =
+  Hashtbl.fold (fun name st acc -> (name, st) :: acc) (store ()) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset () = Hashtbl.reset (store ())
+
+let collect f =
+  let saved = Domain.DLS.get store_key in
+  let fresh : store = Hashtbl.create 17 in
+  Domain.DLS.set store_key fresh;
+  match f () with
+  | y ->
+    Domain.DLS.set store_key saved;
+    (y, fresh)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Domain.DLS.set store_key saved;
+    Printexc.raise_with_backtrace e bt
+
+let merge (col : collected) =
+  let st = store () in
+  Hashtbl.iter
+    (fun name d ->
+      let acc = match Hashtbl.find_opt st name with Some a -> add a d | None -> d in
+      Hashtbl.replace st name acc;
+      (* Re-publish from the merged totals: the gauge writes that rode the
+         job's Metrics scope carried only that job's view. *)
+      gauges name acc)
+    col
+
+let stats_json st =
+  Obs_json.obj
+    [
+      ("minor_words", Obs_json.num st.minor_words);
+      ("promoted_words", Obs_json.num st.promoted_words);
+      ("major_words", Obs_json.num st.major_words);
+      ("minor_collections", string_of_int st.minor_collections);
+      ("major_collections", string_of_int st.major_collections);
+      ("compactions", string_of_int st.compactions);
+      ("top_heap_words", string_of_int st.top_heap_words);
+    ]
+
+let stats_of_json doc =
+  let num name = match Obs_json.member name doc with
+    | Some v -> (match Obs_json.to_num v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "prof: field %S is not a number" name))
+    | None -> Error (Printf.sprintf "prof: missing field %S" name)
+  in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* minor_words = num "minor_words" in
+  let* promoted_words = num "promoted_words" in
+  let* major_words = num "major_words" in
+  let* minor_collections = num "minor_collections" in
+  let* major_collections = num "major_collections" in
+  let* compactions = num "compactions" in
+  let* top_heap_words = num "top_heap_words" in
+  Ok
+    {
+      minor_words;
+      promoted_words;
+      major_words;
+      minor_collections = int_of_float minor_collections;
+      major_collections = int_of_float major_collections;
+      compactions = int_of_float compactions;
+      top_heap_words = int_of_float top_heap_words;
+    }
+
+let to_json () =
+  Obs_json.obj (List.map (fun (name, st) -> (name, stats_json st)) (spans ()))

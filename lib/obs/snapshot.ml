@@ -268,6 +268,19 @@ let render_delta d =
 let render deltas =
   let regs = List.length (regressions deltas) in
   let advisories = List.length deltas - regs in
+  (* Name-set differences are called out in the summary, not only in the
+     per-delta lines: a disappeared workload is the easiest regression to
+     scroll past. *)
+  let disappeared, added =
+    List.fold_left
+      (fun (dis, add) d ->
+        if d.d_field <> "workload" then (dis, add)
+        else
+          match d.d_severity with
+          | Regression -> (dis + 1, add)
+          | Advisory -> (dis, add + 1))
+      (0, 0) deltas
+  in
   let b = Buffer.create 256 in
   List.iter
     (fun d ->
@@ -275,8 +288,15 @@ let render deltas =
       Buffer.add_char b '\n')
     deltas;
   Buffer.add_string b
-    (Printf.sprintf "bench-compare: %d regression%s, %d advisor%s\n" regs
+    (Printf.sprintf "bench-compare: %d regression%s, %d advisor%s%s%s\n" regs
        (if regs = 1 then "" else "s")
        advisories
-       (if advisories = 1 then "y" else "ies"));
+       (if advisories = 1 then "y" else "ies")
+       (if disappeared > 0 then
+          Printf.sprintf "; %d workload%s disappeared" disappeared
+            (if disappeared = 1 then "" else "s")
+        else "")
+       (if added > 0 then
+          Printf.sprintf "; %d new workload%s" added (if added = 1 then "" else "s")
+        else ""));
   Buffer.contents b

@@ -55,6 +55,12 @@ val of_json : string -> (t, string) result
 val write : string -> t -> unit
 val read : string -> (t, string) result
 
+val workload_json : workload -> string
+(** One workload as a JSON object — the element format of [to_json]'s
+    [workloads] array, reused verbatim by the run ledger. *)
+
+val workload_of_json : Obs_json.t -> (workload, string) result
+
 (** {1 Comparison} *)
 
 type severity =

@@ -8,6 +8,14 @@ let m_analyses = Metrics.counter "sta.analyses"
 let m_incremental = Metrics.counter "sta.incremental_updates"
 let m_arrival_evals = Metrics.counter "sta.arrival_evals"
 
+(* Arrival evaluations per incremental update: the cost distribution of
+   [update] calls, deterministic where wall-clock is not.  Buckets span
+   one touched gate to full-netlist recompute territory. *)
+let m_update_evals =
+  Metrics.histogram
+    ~buckets:[ 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1000.0; 3000.0; 10000.0; 30000.0 ]
+    "sta.update_evals"
+
 type config = {
   clock_period : float;
   wire : Wire.t;
@@ -322,6 +330,7 @@ let affected_insts nl changed =
 
 let update t ~changed =
   Metrics.incr m_incremental;
+  let evals0 = Metrics.counter_value m_arrival_evals in
   let { cfg; nl; order; _ } = t in
   let touched = affected_insts nl changed in
   let mask iid = iid < Array.length touched && touched.(iid) in
@@ -352,6 +361,8 @@ let update t ~changed =
     ~mask:(Some mask);
   let eps = endpoints_and_rat cfg nl ~at_max ~at_min ~rat in
   backward cfg nl order ~rat ~inst_delay;
+  Metrics.observe m_update_evals
+    (float_of_int (Metrics.counter_value m_arrival_evals - evals0));
   { t with loads; at_max; at_min; at_slew; inst_delay; rat; from_net; via_inst; eps }
 
 let arrival t nid = if t.at_max.(nid) = neg_infinity then t.cfg.input_arrival else t.at_max.(nid)

@@ -68,6 +68,33 @@ let test_pool_nested_degrades () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "at least one job" true (Pool.default_jobs () >= 1)
 
+(* SMT_JOBS parsing: valid positive integers win (whitespace tolerated),
+   everything else falls back to the recommended domain count.  putenv
+   cannot truly unset a variable, so the unset case is approximated by
+   the empty string — which takes the same fallback path. *)
+let with_jobs_env value f =
+  let saved = Sys.getenv_opt "SMT_JOBS" in
+  Unix.putenv "SMT_JOBS" value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SMT_JOBS" (Option.value saved ~default:""))
+    f
+
+let test_default_jobs_env_parsing () =
+  let fallback = with_jobs_env "" Pool.default_jobs in
+  Alcotest.(check bool) "fallback is positive" true (fallback >= 1);
+  List.iter
+    (fun bad ->
+      Alcotest.(check int)
+        (Printf.sprintf "%S falls back" bad)
+        fallback
+        (with_jobs_env bad Pool.default_jobs))
+    [ "0"; "-3"; "garbage"; "2.5"; "1e3"; "  " ];
+  Alcotest.(check int) "valid value wins" 3 (with_jobs_env "3" Pool.default_jobs);
+  Alcotest.(check int) "surrounding whitespace trimmed" 5
+    (with_jobs_env " 5 " Pool.default_jobs);
+  Alcotest.(check int) "huge explicit value taken verbatim" 4096
+    (with_jobs_env "4096" Pool.default_jobs)
+
 (* ------------------------------------------------------------------ *)
 (* Par: scoped metric / trace collection                               *)
 (* ------------------------------------------------------------------ *)
@@ -95,6 +122,56 @@ let test_par_trace_tids () =
   Trace.disable ();
   let tids = List.sort compare (List.map (fun e -> e.Trace.ev_tid) (Trace.events ())) in
   Alcotest.(check (list int)) "one trace row per job, by input index" [ 2; 3; 4 ] tids
+
+(* ------------------------------------------------------------------ *)
+(* Ledger appends under parallel fan-out                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every worker of a Par.map appends to the same ledger file: the lock +
+   single-write protocol must land one intact line per job, no torn or
+   interleaved records. *)
+let test_ledger_parallel_append_integrity () =
+  let module Ledger = Smt_obs.Ledger in
+  let path = Filename.temp_file "smt_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".lock") with Sys_error _ -> ())
+  @@ fun () ->
+  let n = 24 in
+  ignore
+    (Par.map ~jobs:6
+       (fun i ->
+         let w =
+           {
+             Ledger.lw_workload =
+               Snapshot.workload
+                 ~name:(Printf.sprintf "w%02d" i)
+                 ~qor:[ ("value", float_of_int i) ]
+                 ~counters:[] ~stage_ms:[];
+             Ledger.lw_prof = [];
+           }
+         in
+         Ledger.append path (Ledger.make ~time:(float_of_int i) ~kind:"run" [ w ]))
+       (List.init n Fun.id));
+  match Ledger.read path with
+  | Error e -> Alcotest.fail e
+  | Ok { Ledger.records; skipped } ->
+    Alcotest.(check int) "no torn lines" 0 skipped;
+    Alcotest.(check int) "every append landed" n (List.length records);
+    let names =
+      List.sort compare
+        (List.concat_map
+           (fun (r : Ledger.record) ->
+             List.map
+               (fun (lw : Ledger.workload) ->
+                 lw.Ledger.lw_workload.Snapshot.w_name)
+               r.Ledger.r_workloads)
+           records)
+    in
+    Alcotest.(check (list string)) "payloads intact"
+      (List.init n (Printf.sprintf "w%02d"))
+      names
 
 (* ------------------------------------------------------------------ *)
 (* Flow / QoR determinism across job counts                            *)
@@ -153,6 +230,12 @@ let () =
           Alcotest.test_case "jobs=1 runs in place" `Quick test_pool_jobs1_in_place;
           Alcotest.test_case "nested maps degrade" `Quick test_pool_nested_degrades;
           Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;
+          Alcotest.test_case "SMT_JOBS parsing" `Quick test_default_jobs_env_parsing;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "parallel appends stay intact" `Quick
+            test_ledger_parallel_append_integrity;
         ] );
       ( "par",
         [
