@@ -36,6 +36,11 @@ module Ledger = Smt_obs.Ledger
 module Trend = Smt_obs.Trend
 module Flame = Smt_obs.Flame
 module J = Smt_obs.Obs_json
+module Cjob = Smt_campaign.Job
+module Ckpt = Smt_campaign.Checkpoint
+module Cman = Smt_campaign.Manifest
+module Csup = Smt_campaign.Supervisor
+module Cmerge = Smt_campaign.Merge
 
 open Cmdliner
 
@@ -854,6 +859,435 @@ let lint_cmd =
       const run $ obs_term $ circuits_arg $ technique_arg $ seed_arg $ raw_arg $ jobs_arg
       $ format_arg $ sarif_out_arg $ waivers_arg $ fault_arg $ fault_seed_arg)
 
+(* --- crash-tolerant campaign runner: smt_flow campaign {run,status,resume,merge,worker} --- *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let campaign_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Campaign directory: holds the manifest, one atomic checkpoint per \
+           completed job, per-shard logs, and the merged snapshot.  This directory \
+           is the unit of crash-tolerance — a campaign is resumable from it alone.")
+
+let campaign_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Merged snapshot path (default: $(b,DIR)/merged.json).")
+
+let campaign_out_of dir = function
+  | Some p -> p
+  | None -> Filename.concat dir "merged.json"
+
+(* Parse-and-canonicalize the matrix coordinates, so job ids are stable
+   however the user spelled them ("imp" -> "improved"). *)
+let campaign_matrix circuits techniques guards seeds =
+  let circuits = match circuits with [] -> List.map fst Suite.all | cs -> cs in
+  List.iter
+    (fun c ->
+      match generator_of c with
+      | Ok _ -> ()
+      | Error e ->
+        prerr_endline e;
+        exit 2)
+    circuits;
+  let techniques =
+    match techniques with [] -> [ "dual"; "conventional"; "improved" ] | ts -> ts
+  in
+  let techniques =
+    List.map
+      (fun s ->
+        match technique_of s with
+        | Ok t -> Smt_core.Qor.technique_slug t
+        | Error e ->
+          prerr_endline e;
+          exit 2)
+      techniques
+  in
+  let guards = match guards with [] -> [ "off" ] | gs -> gs in
+  let guards = List.map (fun s -> Flow.guard_name (guard_of s)) guards in
+  let seeds = match seeds with [] -> [ 1 ] | ss -> ss in
+  (circuits, techniques, guards, seeds)
+
+let timeout_arg =
+  Arg.(
+    value & opt float 60.
+    & info [ "timeout" ] ~docv:"S"
+        ~doc:"Wall-clock limit per shard attempt; a shard past it is SIGKILLed and \
+              the attempt counts as failed.")
+
+let max_attempts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-attempts" ] ~docv:"K"
+        ~doc:"Attempts per job before it is quarantined and the campaign continues \
+              without it.")
+
+let retry_base_arg =
+  Arg.(
+    value & opt float 100.
+    & info [ "retry-delay-ms" ] ~docv:"MS"
+        ~doc:"Backoff of the first retry; doubles per attempt up to \
+              $(b,--retry-cap-ms), with deterministic jitter in [1, 1.5).")
+
+let retry_cap_arg =
+  Arg.(
+    value & opt float 2000.
+    & info [ "retry-cap-ms" ] ~docv:"MS" ~doc:"Backoff ceiling (before jitter).")
+
+let chaos_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "chaos" ] ~docv:"P"
+        ~doc:
+          "Self-fault-injection: SIGKILL each shard attempt with probability $(docv), \
+           at a random instant within $(b,--chaos-delay-ms) of its spawn.  The kill \
+           schedule is drawn from a seeded RNG ($(b,--chaos-seed)), so a chaos \
+           campaign is exactly replayable; killed shards are retried/resumed and the \
+           merged snapshot stays byte-identical to an undisturbed run.")
+
+let chaos_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:"Seed of the chaos kill schedule and the retry-backoff jitter.")
+
+let chaos_delay_arg =
+  Arg.(
+    value & opt float 25.
+    & info [ "chaos-delay-ms" ] ~docv:"MS"
+        ~doc:"Chaos kills land uniformly within this delay of the shard's spawn.")
+
+let campaign_config jobs timeout max_attempts retry_base retry_cap chaos chaos_seed
+    chaos_delay =
+  let jobs = jobs_of jobs in
+  if timeout <= 0. then begin
+    prerr_endline "--timeout must be positive";
+    exit 2
+  end;
+  if max_attempts < 1 then begin
+    prerr_endline "--max-attempts must be >= 1";
+    exit 2
+  end;
+  if chaos < 0. || chaos > 1. then begin
+    prerr_endline "--chaos must be a probability in [0, 1]";
+    exit 2
+  end;
+  {
+    Csup.default_config with
+    Csup.sv_jobs = jobs;
+    Csup.sv_timeout_s = timeout;
+    Csup.sv_max_attempts = max_attempts;
+    Csup.sv_retry_base_ms = retry_base;
+    Csup.sv_retry_cap_ms = retry_cap;
+    Csup.sv_chaos = chaos;
+    Csup.sv_chaos_delay_ms = chaos_delay;
+    Csup.sv_seed = chaos_seed;
+  }
+
+(* Supervise every not-yet-done matrix job of [man], persist the
+   quarantine list, merge, and exit under the campaign contract:
+   0 complete, 1 partial (quarantined or missing jobs), 2 infrastructure
+   failure. *)
+let campaign_supervise obs ~dir ~out cfg (man : Cman.t) =
+  let jobs = Cman.jobs man in
+  let byid = List.map (fun j -> (Cjob.id j, j)) jobs in
+  let done_ids =
+    match Ckpt.scan dir with
+    | Error e ->
+      Printf.eprintf "campaign: %s\n" e;
+      exit 2
+    | Ok { Ckpt.sc_checkpoints; _ } ->
+      List.filter_map
+        (fun (id, (cp : Ckpt.t)) ->
+          if cp.Ckpt.cp_status = Ckpt.Done then Some id else None)
+        sc_checkpoints
+  in
+  let todo = List.filter (fun j -> not (List.mem (Cjob.id j) done_ids)) jobs in
+  Printf.printf "campaign %s: %d jobs, %d already complete, %d to run on %d shards\n%!"
+    man.Cman.m_tag (List.length jobs) (List.length done_ids) (List.length todo)
+    cfg.Csup.sv_jobs;
+  let exe =
+    if Filename.is_relative Sys.executable_name then
+      Filename.concat (Unix.getcwd ()) Sys.executable_name
+    else Sys.executable_name
+  in
+  let command ~id ~attempt =
+    let j = List.assoc id byid in
+    [|
+      exe; "campaign"; "worker"; "--dir"; dir; "--circuit"; j.Cjob.jb_circuit;
+      "--technique"; j.Cjob.jb_technique; "--guard"; j.Cjob.jb_guard; "--seed";
+      string_of_int j.Cjob.jb_seed; "--attempt"; string_of_int attempt;
+    |]
+  in
+  let verify id =
+    let j = List.assoc id byid in
+    match Ckpt.load (Ckpt.path ~dir j) with
+    | Ok { Ckpt.cp_status = Ckpt.Done; _ } -> Ok ()
+    | Ok { Ckpt.cp_status = Ckpt.Failed e; _ } ->
+      Error ("checkpoint records failure: " ^ e)
+    | Error e -> Error ("no valid checkpoint: " ^ e)
+  in
+  let log_path id = Filename.concat dir (id ^ ".log") in
+  let summary = Csup.run cfg ~command ~verify ~log_path (List.map Cjob.id todo) in
+  (* Persist the quarantine list: status/resume/merge must see terminal
+     failures without re-supervising (a later resume grants a fresh
+     attempt budget by re-running every failed checkpoint). *)
+  List.iter
+    (fun (id, attempts, err) ->
+      Ckpt.write ~dir
+        {
+          Ckpt.cp_version = Ckpt.schema_version;
+          cp_job = List.assoc id byid;
+          cp_status = Ckpt.Failed err;
+          cp_attempt = attempts;
+          cp_time = Ledger.clock ();
+          cp_workload = None;
+        })
+    (Csup.quarantined summary);
+  match Cmerge.of_dir dir with
+  | Error e ->
+    Printf.eprintf "campaign: %s\n" e;
+    exit 2
+  | Ok m ->
+    Smt_obs.Snapshot.write out m.Cmerge.mg_snapshot;
+    print_endline (Cmerge.render_status m);
+    Printf.printf
+      "retries %d, chaos kills %d, timeouts %d; merged snapshot (%d workloads) \
+       written to %s\n"
+      summary.Csup.sm_retries summary.Csup.sm_chaos_kills summary.Csup.sm_timeouts
+      m.Cmerge.mg_done out;
+    let only = function [ x ] -> x | _ -> "-" in
+    ledger_append obs ~kind:"campaign" ~tag:man.Cman.m_tag
+      ~circuit:(only man.Cman.m_circuits) ~technique:(only man.Cman.m_techniques)
+      ~guard:(only man.Cman.m_guards) ~jobs:cfg.Csup.sv_jobs (Cmerge.workloads m);
+    finish obs;
+    exit (if Cmerge.complete m then 0 else 1)
+
+let campaign_run_cmd =
+  let run obs dir circuits techniques guards seeds jobs timeout max_attempts
+      retry_base retry_cap chaos chaos_seed chaos_delay tag out =
+    let circuits, techniques, guards, seeds =
+      campaign_matrix circuits techniques guards seeds
+    in
+    let cfg =
+      campaign_config jobs timeout max_attempts retry_base retry_cap chaos chaos_seed
+        chaos_delay
+    in
+    mkdir_p dir;
+    if Sys.file_exists (Cman.path dir) then begin
+      Printf.eprintf
+        "campaign: %s is already initialized; use `smt_flow campaign resume --dir %s`\n"
+        dir dir;
+      exit 2
+    end;
+    let man = Cman.make ~tag ~circuits ~techniques ~guards ~seeds in
+    Cman.write dir man;
+    campaign_supervise obs ~dir ~out:(campaign_out_of dir out) cfg man
+  in
+  let circuits_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "circuit" ] ~docv:"NAME"
+          ~doc:"Circuit axis of the matrix (repeatable; default: every suite circuit).")
+  in
+  let techniques_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "t"; "technique" ] ~docv:"T"
+          ~doc:"Technique axis (repeatable; default: dual, conventional, improved).")
+  in
+  let guards_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "guard" ] ~docv:"MODE" ~doc:"Guard axis (repeatable; default: off).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "seed" ] ~docv:"N" ~doc:"Flow-seed axis (repeatable; default: 1).")
+  in
+  let tag_arg =
+    Arg.(
+      value & opt string "campaign"
+      & info [ "tag" ] ~doc:"Tag of the merged snapshot (recorded in the manifest).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Expand the (circuit x technique x guard x seed) matrix into jobs, shard \
+          them across worker OS processes with per-shard supervision (timeout, retry \
+          with exponential backoff, quarantine after $(b,--max-attempts)), persist \
+          one atomic checkpoint per job, and merge the results into one \
+          byte-deterministic snapshot.  Exit 0 when every job completed, 1 when the \
+          campaign finished partial (quarantined jobs), 2 on infrastructure failure.")
+    Term.(
+      const run $ obs_term $ campaign_dir_arg $ circuits_arg $ techniques_arg
+      $ guards_arg $ seeds_arg $ jobs_arg $ timeout_arg $ max_attempts_arg
+      $ retry_base_arg $ retry_cap_arg $ chaos_arg $ chaos_seed_arg $ chaos_delay_arg
+      $ tag_arg $ campaign_out_arg)
+
+let campaign_resume_cmd =
+  let run obs dir jobs timeout max_attempts retry_base retry_cap chaos chaos_seed
+      chaos_delay out =
+    match Cman.load dir with
+    | Error e ->
+      Printf.eprintf "campaign: %s (is %s a campaign directory?)\n" e dir;
+      exit 2
+    | Ok man ->
+      Metrics.incr (Metrics.counter "campaign.resumes");
+      let cfg =
+        campaign_config jobs timeout max_attempts retry_base retry_cap chaos
+          chaos_seed chaos_delay
+      in
+      campaign_supervise obs ~dir ~out:(campaign_out_of dir out) cfg man
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Re-scan the checkpoint directory and finish an interrupted or partial \
+          campaign: completed jobs are skipped, failed / quarantined / in-flight ones \
+          re-run with a fresh attempt budget.  The matrix comes from the manifest, \
+          so resume cycles cannot drift; the merged snapshot is byte-identical to an \
+          uninterrupted run's.  Same exit contract as $(b,run).")
+    Term.(
+      const run $ obs_term $ campaign_dir_arg $ jobs_arg $ timeout_arg
+      $ max_attempts_arg $ retry_base_arg $ retry_cap_arg $ chaos_arg $ chaos_seed_arg
+      $ chaos_delay_arg $ campaign_out_arg)
+
+let campaign_status_cmd =
+  let run dir =
+    match Cmerge.of_dir dir with
+    | Error e ->
+      Printf.eprintf "campaign: %s\n" e;
+      exit 2
+    | Ok m ->
+      print_endline (Cmerge.render_status m);
+      exit (if Cmerge.complete m then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Report per-job campaign state (done / failed / missing) from the \
+          checkpoint directory alone.  Exit 0 when complete, 1 otherwise.")
+    Term.(const run $ campaign_dir_arg)
+
+let campaign_merge_cmd =
+  let run dir out =
+    match Cmerge.of_dir dir with
+    | Error e ->
+      Printf.eprintf "campaign: %s\n" e;
+      exit 2
+    | Ok m ->
+      let out = campaign_out_of dir out in
+      Smt_obs.Snapshot.write out m.Cmerge.mg_snapshot;
+      print_endline (Cmerge.render_status m);
+      Printf.printf "merged snapshot (%d workloads) written to %s\n" m.Cmerge.mg_done
+        out;
+      exit (if Cmerge.complete m then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Re-merge the checkpoints into the campaign snapshot without running \
+          anything.  The merge is byte-deterministic: independent of shard count, \
+          scheduling, and resume history.  Exit 0 when complete, 1 when partial.")
+    Term.(const run $ campaign_dir_arg $ campaign_out_arg)
+
+(* The shard body: one flow run, one atomic checkpoint.  Spawned by the
+   supervisor — not intended for interactive use, but safe for it. *)
+let campaign_worker_cmd =
+  let run dir circuit technique guard seed attempt =
+    match (generator_of circuit, technique_of technique) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok gen, Ok t ->
+      let guard_mode = guard_of guard in
+      let job =
+        {
+          Cjob.jb_circuit = circuit;
+          jb_technique = Smt_core.Qor.technique_slug t;
+          jb_guard = Flow.guard_name guard_mode;
+          jb_seed = seed;
+        }
+      in
+      let options =
+        { Flow.default_options with Flow.seed; Flow.guard = guard_mode }
+      in
+      let nl = gen (lib ()) in
+      let before = Metrics.counters () in
+      (match Flow.run ~options t nl with
+      | report ->
+        let workload =
+          Smt_obs.Snapshot.workload ~name:(Cjob.name job)
+            ~qor:(Smt_core.Qor.qor_of report)
+            ~counters:
+              (Smt_core.Qor.counter_delta ~before ~after:(Metrics.counters ()))
+            ~stage_ms:
+              (List.map
+                 (fun (s : Flow.stage) -> (s.Flow.stage_name, s.Flow.stage_ms))
+                 report.Flow.stages)
+        in
+        Ckpt.write ~dir
+          {
+            Ckpt.cp_version = Ckpt.schema_version;
+            cp_job = job;
+            cp_status = Ckpt.Done;
+            cp_attempt = attempt;
+            cp_time = Ledger.clock ();
+            cp_workload = Some workload;
+          }
+      | exception Flow.Flow_error e ->
+        Ckpt.write ~dir
+          {
+            Ckpt.cp_version = Ckpt.schema_version;
+            cp_job = job;
+            cp_status =
+              Ckpt.Failed
+                (Printf.sprintf "flow aborted at stage %S: %s" e.Flow.fe_stage
+                   (String.concat "; " e.Flow.fe_diagnostics));
+            cp_attempt = attempt;
+            cp_time = Ledger.clock ();
+            cp_workload = None;
+          };
+        exit 1)
+  in
+  let attempt_arg =
+    Arg.(value & opt int 1 & info [ "attempt" ] ~docv:"N" ~doc:"Supervisor attempt number.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Internal: run one campaign job (one circuit, one technique, one guard, one \
+          seed) and persist its result as an atomic checkpoint.  Exec'd per shard by \
+          $(b,campaign run)/$(b,resume).")
+    Term.(
+      const run $ campaign_dir_arg $ circuit_arg $ technique_arg $ guard_arg
+      $ seed_arg $ attempt_arg)
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Crash-tolerant, resumable campaign runner: shard a (circuit x technique x \
+          guard x seed) matrix across supervised worker processes with retry, \
+          backoff, quarantine, and seeded chaos injection; checkpoint every job \
+          atomically; merge byte-deterministically.")
+    [
+      campaign_run_cmd; campaign_status_cmd; campaign_resume_cmd; campaign_merge_cmd;
+      campaign_worker_cmd;
+    ]
+
 (* --- run-ledger inspection: smt_flow runs {list,show,trend,gc} --- *)
 
 let runs_ledger_arg =
@@ -916,7 +1350,8 @@ let runs_list_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "kind" ] ~docv:"KIND" ~doc:"Only records of this kind (run|bench|lint).")
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Only records of this kind (run|bench|lint|campaign).")
   in
   Cmd.v (Cmd.info "list" ~doc:"List the ledger's records, oldest first")
     Term.(const run $ runs_ledger_arg $ kind_arg)
@@ -1123,7 +1558,7 @@ let main =
     [
       run_cmd; stages_cmd; table1_cmd; corners_cmd; report_cmd; explain_cmd;
       bench_snapshot_cmd; bench_compare_cmd; check_cmd; lint_cmd; list_cmd; runs_cmd;
-      flame_cmd;
+      flame_cmd; campaign_cmd;
     ]
 
 let () = exit (Cmd.eval main)

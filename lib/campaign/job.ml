@@ -1,0 +1,66 @@
+module J = Smt_obs.Obs_json
+
+type t = {
+  jb_circuit : string;
+  jb_technique : string;
+  jb_guard : string;
+  jb_seed : int;
+}
+
+let id j =
+  Printf.sprintf "%s~%s~%s~s%d" j.jb_circuit j.jb_technique j.jb_guard j.jb_seed
+
+let name j =
+  Printf.sprintf "%s/%s/%s/s%d" j.jb_circuit j.jb_technique j.jb_guard j.jb_seed
+
+let matrix ~circuits ~techniques ~guards ~seeds =
+  List.concat_map
+    (fun c ->
+      List.concat_map
+        (fun t ->
+          List.concat_map
+            (fun g ->
+              List.map
+                (fun s ->
+                  { jb_circuit = c; jb_technique = t; jb_guard = g; jb_seed = s })
+                seeds)
+            guards)
+        techniques)
+    circuits
+
+let to_json j =
+  J.obj
+    [
+      ("circuit", J.str j.jb_circuit);
+      ("technique", J.str j.jb_technique);
+      ("guard", J.str j.jb_guard);
+      ("seed", string_of_int j.jb_seed);
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let str_of field doc =
+  match J.member field doc with
+  | Some v -> (
+    match J.to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "job: field %S is not a string" field))
+  | None -> Error (Printf.sprintf "job: missing field %S" field)
+
+let of_json doc =
+  let* circuit = str_of "circuit" doc in
+  let* technique = str_of "technique" doc in
+  let* guard = str_of "guard" doc in
+  match J.member "seed" doc with
+  | Some v -> (
+    match J.to_num v with
+    | Some f ->
+      Ok
+        {
+          jb_circuit = circuit;
+          jb_technique = technique;
+          jb_guard = guard;
+          jb_seed = int_of_float f;
+        }
+    | None -> Error "job: field \"seed\" is not a number")
+  | None -> Error "job: missing field \"seed\""

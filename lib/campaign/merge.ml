@@ -1,0 +1,114 @@
+module Snapshot = Smt_obs.Snapshot
+module Ledger = Smt_obs.Ledger
+
+type state = Sdone | Sfailed of string | Smissing
+
+type job_state = { js_job : Job.t; js_state : state; js_attempt : int }
+
+type t = {
+  mg_tag : string;
+  mg_snapshot : Snapshot.t;
+  mg_states : job_state list;
+  mg_done : int;
+  mg_failed : int;
+  mg_missing : int;
+  mg_unreadable : int;
+}
+
+(* Wall-clock is the one worker-recorded field that differs run to run;
+   everything else in a workload is a deterministic function of the job. *)
+let strip_wallclock (w : Snapshot.workload) =
+  Snapshot.workload ~name:w.Snapshot.w_name ~qor:w.Snapshot.w_qor
+    ~counters:w.Snapshot.w_counters ~stage_ms:[]
+
+let of_dir dir =
+  match Manifest.load dir with
+  | Error e -> Error (Printf.sprintf "cannot load campaign manifest: %s" e)
+  | Ok man -> (
+    match Checkpoint.scan dir with
+    | Error e -> Error (Printf.sprintf "cannot scan checkpoints: %s" e)
+    | Ok { Checkpoint.sc_checkpoints; sc_unreadable } ->
+      let states =
+        List.map
+          (fun job ->
+            match List.assoc_opt (Job.id job) sc_checkpoints with
+            | Some (cp : Checkpoint.t) -> (
+              match cp.Checkpoint.cp_status with
+              | Checkpoint.Done ->
+                {
+                  js_job = job;
+                  js_state = Sdone;
+                  js_attempt = cp.Checkpoint.cp_attempt;
+                }
+              | Checkpoint.Failed e ->
+                {
+                  js_job = job;
+                  js_state = Sfailed e;
+                  js_attempt = cp.Checkpoint.cp_attempt;
+                })
+            | None -> { js_job = job; js_state = Smissing; js_attempt = 0 })
+          (Manifest.jobs man)
+      in
+      let done_workloads =
+        List.filter_map
+          (fun js ->
+            match js.js_state with
+            | Sdone -> (
+              match List.assoc_opt (Job.id js.js_job) sc_checkpoints with
+              | Some { Checkpoint.cp_workload = Some w; _ } ->
+                Some (strip_wallclock w)
+              | _ -> None)
+            | _ -> None)
+          states
+      in
+      let count p = List.length (List.filter p states) in
+      Ok
+        {
+          mg_tag = man.Manifest.m_tag;
+          mg_snapshot = Snapshot.make ~tag:man.Manifest.m_tag done_workloads;
+          mg_states = states;
+          mg_done = count (fun js -> js.js_state = Sdone);
+          mg_failed =
+            count (fun js -> match js.js_state with Sfailed _ -> true | _ -> false);
+          mg_missing = count (fun js -> js.js_state = Smissing);
+          mg_unreadable = sc_unreadable;
+        })
+
+let complete m = m.mg_failed = 0 && m.mg_missing = 0
+
+let workloads m =
+  List.map
+    (fun w -> { Ledger.lw_workload = w; Ledger.lw_prof = [] })
+    m.mg_snapshot.Snapshot.s_workloads
+
+let render_status m =
+  let header = [ "Job"; "State"; "Attempts"; "Detail" ] in
+  let rows =
+    List.map
+      (fun js ->
+        let state, detail =
+          match js.js_state with
+          | Sdone -> ("done", "")
+          | Sfailed e -> ("failed", e)
+          | Smissing -> ("missing", "")
+        in
+        [
+          Job.id js.js_job;
+          state;
+          (if js.js_attempt = 0 then "-" else string_of_int js.js_attempt);
+          detail;
+        ])
+      m.mg_states
+  in
+  let summary =
+    Printf.sprintf "campaign %s: %d/%d done, %d failed, %d missing%s" m.mg_tag
+      m.mg_done
+      (List.length m.mg_states)
+      m.mg_failed m.mg_missing
+      (if m.mg_unreadable = 0 then ""
+       else
+         Printf.sprintf " (%d unreadable checkpoint%s treated as missing)"
+           m.mg_unreadable
+           (if m.mg_unreadable = 1 then "" else "s"))
+  in
+  Smt_util.Text_table.render ~header rows ^ "\n" ^ summary

@@ -1,0 +1,53 @@
+(** Deterministic reassembly of a campaign's checkpoints into one QoR
+    snapshot, plus the coverage report behind [campaign status].
+
+    The merged snapshot contains one workload per [Done] checkpoint,
+    {b byte-deterministic} regardless of shard count, scheduling, chaos
+    kills, or how many resume cycles produced the checkpoints:
+
+    - workloads are keyed by job name and sorted by {!Smt_obs.Snapshot.make}
+      (scan order never leaks through);
+    - per-stage wall-clock ([stage_ms]) is stripped — it is the one
+      nondeterministic field a worker records, advisory by the snapshot
+      contract, and still available in the individual checkpoints;
+    - QoR fields and work counters come from the flow, which is a
+      deterministic function of the job coordinates, and floats
+      round-trip exactly ([num_exact]).
+
+    So an interrupted-and-resumed campaign merges to exactly the bytes of
+    an uninterrupted one — the property the chaos tests pin down. *)
+
+type state =
+  | Sdone
+  | Sfailed of string  (** quarantined or aborted, with the last error *)
+  | Smissing  (** no (readable) checkpoint: never ran, in-flight, or torn *)
+
+type job_state = {
+  js_job : Job.t;
+  js_state : state;
+  js_attempt : int;  (** attempts recorded in the checkpoint; 0 when missing *)
+}
+
+type t = {
+  mg_tag : string;  (** from the manifest *)
+  mg_snapshot : Smt_obs.Snapshot.t;  (** [Done] workloads only *)
+  mg_states : job_state list;  (** canonical matrix order *)
+  mg_done : int;
+  mg_failed : int;
+  mg_missing : int;
+  mg_unreadable : int;  (** torn checkpoint files tolerated during the scan *)
+}
+
+val of_dir : string -> (t, string) result
+(** Load the manifest and scan the checkpoints of a campaign directory.
+    Checkpoints for jobs outside the manifest's matrix are ignored. *)
+
+val complete : t -> bool
+(** Every matrix job has a [Done] checkpoint. *)
+
+val workloads : t -> Smt_obs.Ledger.workload list
+(** The merged workloads in run-ledger form (no GC attribution — that
+    stays in the worker processes). *)
+
+val render_status : t -> string
+(** Per-job state table plus a one-line summary. *)

@@ -1,10 +1,11 @@
 (* Append-only JSONL run store.  One line per completed invocation; writes
    are single [write]s to an O_APPEND descriptor under an advisory lock on
    a sibling [.lock] file, so concurrent flows (domains or processes) can
-   share one ledger without interleaving partial lines.  The reader is
-   deliberately forgiving: a line that does not parse — typically the
-   truncated tail of a run that died mid-append — is counted and skipped,
-   never fatal. *)
+   share one ledger without interleaving partial lines.  The lock is an
+   atomically created file, broken by age when its holder died without
+   releasing it (see [with_lock]).  The reader is deliberately forgiving:
+   a line that does not parse — typically the truncated tail of a run that
+   died mid-append — is counted and skipped, never fatal. *)
 
 let schema_version = 1
 
@@ -18,7 +19,7 @@ type record = {
   r_id : string;  (* 12-hex digest of the canonical payload *)
   r_time : float;  (* unix seconds, injected by the caller *)
   r_tool : string;
-  r_kind : string;  (* "run" | "bench" | "lint" *)
+  r_kind : string;  (* "run" | "bench" | "lint" | "campaign" *)
   r_tag : string;
   r_circuit : string;
   r_technique : string;
@@ -177,16 +178,59 @@ let of_line line =
 (* File I/O                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Appends serialize on an atomically created sibling [.lock] file, which
+   works across processes and filesystems but can be orphaned: a holder
+   SIGKILLed between create and unlink leaves the file behind, and
+   without recovery every later append would spin forever.  Contenders
+   therefore break locks older than a staleness threshold — generous next
+   to the sub-millisecond hold time of an append — with a warning.  The
+   known (documented) race: a holder stalled past the threshold can have
+   its lock broken under it; pick SMT_LOCK_STALE_MS above the longest
+   plausible critical section (the default is 4 orders of magnitude
+   above). *)
+let default_stale_lock_s = 10.
+
+let stale_lock_s () =
+  match Sys.getenv_opt "SMT_LOCK_STALE_MS" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some ms when ms > 0. -> ms /. 1000.
+    | _ -> default_stale_lock_s)
+  | None -> default_stale_lock_s
+
 let with_lock path f =
   let lock = path ^ ".lock" in
-  let fd = Unix.openfile lock [ Unix.O_CREAT; Unix.O_WRONLY ] 0o644 in
+  let rec acquire delay =
+    match Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+    | fd -> fd
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      let broke =
+        match Unix.stat lock with
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> true (* just released *)
+        | st ->
+          let age = Unix.gettimeofday () -. st.Unix.st_mtime in
+          if age > stale_lock_s () then begin
+            Log.warn "ledger" "breaking stale lock"
+              ~fields:
+                [ ("lock", lock); ("age_s", Printf.sprintf "%.1f" age) ];
+            (try Unix.unlink lock with Unix.Unix_error _ -> ());
+            true
+          end
+          else false
+      in
+      if not broke then Unix.sleepf delay;
+      acquire (Float.min 0.05 (delay *. 2.))
+  in
+  let fd = acquire 0.001 in
+  (* Record the holder for post-mortems of any orphan that does occur. *)
+  let pid = Bytes.of_string (string_of_int (Unix.getpid ()) ^ "\n") in
+  (try ignore (Unix.write fd pid 0 (Bytes.length pid))
+   with Unix.Unix_error _ -> ());
   Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      Unix.lockf fd Unix.F_LOCK 0;
-      Fun.protect
-        ~finally:(fun () -> try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
-        f)
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink lock with Unix.Unix_error _ -> ())
+    f
 
 let append path r =
   with_lock path (fun () ->

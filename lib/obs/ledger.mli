@@ -11,9 +11,15 @@
     gate on, {!Trend} can chart over time.
 
     {b Concurrency.}  Appends serialize on an advisory lock over a
-    sibling [<path>.lock] file and issue the line as a single [write] to
-    an [O_APPEND] descriptor, so parallel workers (and separate
-    processes) can share a ledger without interleaving partial lines.
+    sibling [<path>.lock] file (created atomically, removed on release)
+    and issue the line as a single [write] to an [O_APPEND] descriptor,
+    so parallel workers (and separate processes) can share a ledger
+    without interleaving partial lines.  A lock orphaned by a holder that
+    died without releasing it (SIGKILL mid-append) does not block the
+    ledger forever: contenders break locks older than a staleness
+    threshold — 10 s by default, [SMT_LOCK_STALE_MS] to override — with a
+    logged warning.  Keep the threshold far above the longest plausible
+    append (sub-millisecond) to make false breaks implausible.
 
     {b Robustness.}  [read] skips lines that do not parse — typically the
     truncated tail of a run that died mid-append — and reports how many
@@ -38,7 +44,7 @@ type record = {
   r_id : string;  (** 12-hex digest of the canonical payload (sans id) *)
   r_time : float;  (** unix seconds, injected *)
   r_tool : string;  (** e.g. ["smt_flow 1.0.0"] *)
-  r_kind : string;  (** ["run"] | ["bench"] | ["lint"] *)
+  r_kind : string;  (** ["run"] | ["bench"] | ["lint"] | ["campaign"] *)
   r_tag : string;  (** snapshot tag, or [""] *)
   r_circuit : string;  (** single-run circuit, or ["-"] for sweeps *)
   r_technique : string;

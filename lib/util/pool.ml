@@ -37,8 +37,20 @@ let map_parallel ~jobs f xs =
     in
     loop ()
   in
-  let domains = List.init jobs (fun w -> Domain.spawn (worker w)) in
-  List.iter Domain.join domains;
+  (* Spawn under protection: a failed [Domain.spawn] (resource
+     exhaustion) must not leak the workers already running — join them
+     before letting the failure escape, so no domain outlives [map]
+     whichever way it exits. *)
+  let domains = ref [] in
+  (try
+     for w = 0 to jobs - 1 do
+       domains := Domain.spawn (worker w) :: !domains
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     List.iter Domain.join !domains;
+     Printexc.raise_with_backtrace e bt);
+  List.iter Domain.join !domains;
   (* Re-raise the first failure by input position, so which job's
      exception escapes does not depend on scheduling. *)
   Array.iter

@@ -5,7 +5,11 @@
     no domains outlive the call and there is nothing to shut down.  Results
     come back in input order regardless of which worker ran which element,
     and the first exception (by input position) a job raised is re-raised
-    on the caller with its original backtrace.
+    on the caller with its original backtrace — but only after {e every}
+    worker has been joined: a failing job (or a failing [Domain.spawn]
+    partway through pool bring-up) never leaks a running domain.  Workers
+    keep draining the remaining jobs after another job has failed, so
+    side effects of unrelated jobs are not silently skipped.
 
     [map ~jobs:1] (or a single-element list) runs in place on the calling
     domain — no spawn, byte-identical behaviour to [List.map].  Nested use

@@ -33,6 +33,29 @@ let test_pool_exception_propagation () =
   | exception Failure s ->
     Alcotest.(check string) "first failing input wins" "2" s
 
+(* Shutdown hardening: the exception must re-raise only after every
+   worker domain has been joined.  Observable contract: by the time the
+   caller sees the exception, every job has started and every non-failing
+   job has finished — workers drained the queue and were joined, so no
+   domain outlives the call.  If a worker were leaked (re-raise before
+   join), the counters would still be moving when we read them. *)
+let test_pool_failure_leaks_no_domains () =
+  let n = 16 in
+  let started = Atomic.make 0 and finished = Atomic.make 0 in
+  (match
+     Pool.map ~jobs:4
+       (fun x ->
+         Atomic.incr started;
+         if x = 5 then failwith "boom";
+         Atomic.incr finished;
+         x)
+       (List.init n Fun.id)
+   with
+  | _ -> Alcotest.fail "expected the job exception to re-raise"
+  | exception Failure s -> Alcotest.(check string) "failing job's exception" "boom" s);
+  Alcotest.(check int) "all jobs drained before re-raise" n (Atomic.get started);
+  Alcotest.(check int) "all non-failing jobs completed" (n - 1) (Atomic.get finished)
+
 let test_pool_jobs1_in_place () =
   let saw_worker = ref false in
   let r =
@@ -227,6 +250,8 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_pool_ordering;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_exception_propagation;
+          Alcotest.test_case "failure leaks no domains" `Quick
+            test_pool_failure_leaks_no_domains;
           Alcotest.test_case "jobs=1 runs in place" `Quick test_pool_jobs1_in_place;
           Alcotest.test_case "nested maps degrade" `Quick test_pool_nested_degrades;
           Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_positive;

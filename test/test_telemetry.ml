@@ -225,6 +225,48 @@ let test_ledger_gc_keep_and_find () =
   | Ok _ -> Alcotest.fail "gc'd record still findable"
   | Error _ -> ()
 
+(* A holder SIGKILLed between lock create and unlink leaves the .lock
+   file behind with nobody to remove it.  Simulate the orphan directly
+   (create the file, backdate its mtime past the staleness threshold) and
+   check a later append breaks it rather than spinning forever. *)
+let test_ledger_stale_lock_broken () =
+  with_temp_ledger @@ fun path ->
+  let lock = path ^ ".lock" in
+  let fd = Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 in
+  Unix.close fd;
+  let past = Unix.gettimeofday () -. 3600. in
+  Unix.utimes lock past past;
+  Ledger.append path (sample_record ~time:1000.0 1.0);
+  Alcotest.(check bool) "stale lock removed" false (Sys.file_exists lock);
+  match Ledger.read path with
+  | Error e -> Alcotest.fail e
+  | Ok { Ledger.records; skipped } ->
+    Alcotest.(check int) "append landed" 1 (List.length records);
+    Alcotest.(check int) "no torn lines" 0 skipped
+
+(* The threshold is configurable: with SMT_LOCK_STALE_MS=50 even a
+   fresh-looking orphan is broken after ~50ms of spinning, so a test
+   (or an impatient operator) need not wait out the 10s default. *)
+let test_ledger_stale_lock_threshold_env () =
+  with_temp_ledger @@ fun path ->
+  let lock = path ^ ".lock" in
+  let fd = Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 in
+  Unix.close fd;
+  let saved = Sys.getenv_opt "SMT_LOCK_STALE_MS" in
+  Unix.putenv "SMT_LOCK_STALE_MS" "50";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SMT_LOCK_STALE_MS" (Option.value saved ~default:""))
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  Ledger.append path (sample_record ~time:1000.0 1.0);
+  let waited = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "broke within ~the configured threshold" true (waited < 5.);
+  match Ledger.read path with
+  | Error e -> Alcotest.fail e
+  | Ok { Ledger.records; _ } ->
+    Alcotest.(check int) "append landed" 1 (List.length records)
+
 (* ------------------------------------------------------------------ *)
 (* Trend                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -440,6 +482,10 @@ let () =
           Alcotest.test_case "truncated tail tolerated" `Quick
             test_ledger_truncated_tail;
           Alcotest.test_case "gc --keep and find" `Quick test_ledger_gc_keep_and_find;
+          Alcotest.test_case "stale lock broken by age" `Quick
+            test_ledger_stale_lock_broken;
+          Alcotest.test_case "SMT_LOCK_STALE_MS overrides threshold" `Quick
+            test_ledger_stale_lock_threshold_env;
         ] );
       ( "trend",
         [
