@@ -11,7 +11,9 @@ type t = {
   cp_status : status;
   cp_attempt : int;
   cp_time : float;
+  cp_duration_s : float;
   cp_workload : Snapshot.workload option;
+  cp_prof : (string * Smt_obs.Prof.stats) list;
 }
 
 let suffix = ".ckpt.json"
@@ -31,11 +33,19 @@ let to_json cp =
     @ [
         ("attempt", string_of_int cp.cp_attempt);
         ("time", J.num_exact cp.cp_time);
+        ("duration_s", J.num_exact cp.cp_duration_s);
       ]
+    @ (match cp.cp_workload with
+      | Some w -> [ ("workload", Snapshot.workload_json w) ]
+      | None -> [])
     @
-    match cp.cp_workload with
-    | Some w -> [ ("workload", Snapshot.workload_json w) ]
-    | None -> []
+    match cp.cp_prof with
+    | [] -> []
+    | prof ->
+      [
+        ( "prof",
+          J.obj (List.map (fun (stage, st) -> (stage, Smt_obs.Prof.stats_json st)) prof) );
+      ]
   in
   J.obj fields
 
@@ -93,6 +103,28 @@ let of_json doc =
     in
     let* attempt = num_of "attempt" in
     let* time = num_of "time" in
+    (* Fields added after the first release of schema 1 read back with
+       neutral defaults, so checkpoints written by an older binary still
+       load (forward additions, not a version bump). *)
+    let duration_s =
+      match Option.bind (J.member "duration_s" doc) J.to_num with
+      | Some d -> d
+      | None -> 0.
+    in
+    let* prof =
+      match J.member "prof" doc with
+      | None -> Ok []
+      | Some (J.Obj fields) ->
+        let rec go = function
+          | [] -> Ok []
+          | (stage, v) :: rest ->
+            let* st = Smt_obs.Prof.stats_of_json v in
+            let* tl = go rest in
+            Ok ((stage, st) :: tl)
+        in
+        go fields
+      | Some _ -> Error "checkpoint: prof is not an object"
+    in
     let* workload =
       match (status, J.member "workload" doc) with
       | Done, Some w ->
@@ -108,7 +140,9 @@ let of_json doc =
         cp_status = status;
         cp_attempt = int_of_float attempt;
         cp_time = time;
+        cp_duration_s = duration_s;
         cp_workload = workload;
+        cp_prof = prof;
       }
 
 let load file =

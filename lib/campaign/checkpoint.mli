@@ -31,7 +31,15 @@ type t = {
   cp_status : status;
   cp_attempt : int;  (** 1-based attempt that produced this checkpoint *)
   cp_time : float;  (** unix seconds, injected (respects [SMT_CLOCK]) *)
+  cp_duration_s : float;
+      (** wall seconds the producing attempt ran; [0.] in checkpoints
+          written before the field existed.  Envelope data (feeds the
+          status view's ETA, never merged snapshots). *)
   cp_workload : Smt_obs.Snapshot.workload option;  (** [Some] iff [Done] *)
+  cp_prof : (string * Smt_obs.Prof.stats) list;
+      (** per-stage GC attribution from the producing worker, the
+          [Ledger.workload.lw_prof] payload; empty when the worker ran
+          unprofiled or predates the field *)
 }
 
 val suffix : string

@@ -1,0 +1,53 @@
+(** Per-shard liveness files: how the supervisor tells {e hung} from
+    {e slow}.
+
+    A worker runs a {!beater} — a dedicated domain that rewrites
+    [<job-id>.hb] every [SMT_HB_INTERVAL_MS] (default 200 ms) with the
+    current flow stage, a count of completed stages, and a monotonic
+    beat counter.  The supervisor's reap loop reads the file: a beat
+    counter that stops advancing for longer than the stall timeout means
+    the shard is wedged (or its beater died with it) and can be killed
+    immediately instead of waiting out the wall clock.  Because the
+    beater is its own domain, a worker spinning in a compute loop keeps
+    beating only if the OS still schedules the process — a SIGSTOPped,
+    livelocked-in-malloc, or D-state worker goes silent, which is
+    exactly the signal.
+
+    Writes are atomic (temp + rename) so readers never see a torn file,
+    but not fsynced — heartbeats are a liveness overlay, worthless after
+    a crash and not worth a sync per beat. *)
+
+type t = {
+  hb_stage : string;  (** most recent flow-stage progress marker *)
+  hb_stages_done : int;  (** stages completed so far (monotonic) *)
+  hb_beat : int;  (** write counter; advancing = alive *)
+}
+
+val suffix : string
+(** [".hb"]. *)
+
+val path : dir:string -> string -> string
+(** [path ~dir id] — [<dir>/<id>.hb]. *)
+
+val interval_s : unit -> float
+(** The beat interval: [SMT_HB_INTERVAL_MS] (milliseconds) when set and
+    positive, else 0.2 s. *)
+
+val write : string -> t -> unit
+(** Atomic single write (temp + rename, no fsync). *)
+
+val read : string -> (t, string) result
+
+type beater
+(** A background domain beating on one path. *)
+
+val start : path:string -> beater
+(** Spawn the beater; it writes immediately, then every
+    {!interval_s}. *)
+
+val set_stage : beater -> string -> unit
+(** Record flow-stage progress under a stage name (also bumps
+    [hb_stages_done]); picked up by the next beat. *)
+
+val stop : beater -> unit
+(** Write one final heartbeat and join the domain.  Idempotent. *)

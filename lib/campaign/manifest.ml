@@ -25,6 +25,11 @@ let jobs m =
   Job.matrix ~circuits:m.m_circuits ~techniques:m.m_techniques ~guards:m.m_guards
     ~seeds:m.m_seeds
 
+(* The slot table is what keeps absorbed telemetry stable: a job's index
+   in the canonical matrix depends only on the manifest, so the tid its
+   spans land on survives retries, resumes, and shard-count changes. *)
+let slots m = List.mapi (fun i job -> (Job.id job, i)) (jobs m)
+
 let path dir = Filename.concat dir "campaign.json"
 
 let to_json m =

@@ -26,11 +26,20 @@ type job_state = {
   js_job : Job.t;
   js_state : state;
   js_attempt : int;  (** attempts recorded in the checkpoint; 0 when missing *)
+  js_duration_s : float;
+      (** wall seconds of the producing attempt (checkpoint envelope);
+          0 when missing or written by a pre-duration binary.  Feeds the
+          status view's throughput/ETA. *)
 }
 
 type t = {
   mg_tag : string;  (** from the manifest *)
   mg_snapshot : Smt_obs.Snapshot.t;  (** [Done] workloads only *)
+  mg_workloads : Smt_obs.Ledger.workload list;
+      (** [Done] workloads in run-ledger form, sorted by workload name:
+          unlike [mg_snapshot] these keep per-stage wall-clock and carry
+          the worker's per-stage GC attribution ([cp_prof]) — envelope
+          data that never enters the byte-compared snapshot *)
   mg_states : job_state list;  (** canonical matrix order *)
   mg_done : int;
   mg_failed : int;
@@ -46,8 +55,11 @@ val complete : t -> bool
 (** Every matrix job has a [Done] checkpoint. *)
 
 val workloads : t -> Smt_obs.Ledger.workload list
-(** The merged workloads in run-ledger form (no GC attribution — that
-    stays in the worker processes). *)
+(** [mg_workloads]: the merged workloads in run-ledger form, with real
+    per-stage wall-clock and GC attribution threaded through from the
+    worker checkpoints — what [campaign run] appends to the run ledger,
+    so [runs show]/[runs gc]-style analysis works on campaign records
+    exactly as on single-process runs. *)
 
 val render_status : t -> string
 (** Per-job state table plus a one-line summary. *)

@@ -93,6 +93,7 @@ type options = {
   cts_max_fanout : int;
   max_hold_iterations : int;
   guard : guard;
+  on_stage : (string -> unit) option;
 }
 
 let default_options =
@@ -114,6 +115,7 @@ let default_options =
     cts_max_fanout = 8;
     max_hold_iterations = 10;
     guard = Guard_off;
+    on_stage = None;
   }
 
 type stage = {
@@ -391,6 +393,7 @@ let run_with_artifacts ?(options = default_options) technique nl =
         stage_prof = pstats;
       }
       :: !stages;
+    (match options.on_stage with Some f -> f name | None -> ());
     guard_check name
   in
   snapshot "physical-synthesis (all low-Vth)";

@@ -131,6 +131,17 @@ let merge (col : collected) =
       gauges name acc)
     col
 
+(* Cross-process form of [merge]: sidecar spans arrive as an association
+   list (the [spans] wire shape), not a live hashtable. *)
+let absorb spans =
+  let col : store = Hashtbl.create 17 in
+  List.iter
+    (fun (name, d) ->
+      let acc = match Hashtbl.find_opt col name with Some a -> add a d | None -> d in
+      Hashtbl.replace col name acc)
+    spans;
+  merge col
+
 let stats_json st =
   Obs_json.obj
     [

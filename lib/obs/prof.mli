@@ -79,6 +79,12 @@ val merge : collected -> unit
 (** Fold a collected accumulator into the calling domain's store
     (additive; peak heap by max). *)
 
+val absorb : (string * stats) list -> unit
+(** {!merge} for spans that arrived as data rather than a live scope —
+    the {!spans} shape, e.g. deserialized from another process's
+    telemetry sidecar.  Additive; peak heap by max; also refreshes the
+    [prof.<slug>.*] gauges from the merged totals. *)
+
 val stats_json : stats -> string
 val stats_of_json : Obs_json.t -> (stats, string) result
 val to_json : unit -> string
