@@ -658,8 +658,132 @@ let check_cmd =
       const run $ obs_term $ circuit_arg $ technique_opt_arg $ seed_arg $ fault_arg
       $ fault_seed_arg $ repair_arg)
 
+(* Today's UTC date for waiver expiry, honouring SMT_CLOCK (unix seconds)
+   like every other wall-clock read in the tool. *)
+let today_utc () =
+  let now =
+    match Sys.getenv_opt "SMT_CLOCK" with
+    | Some s -> ( try float_of_string (String.trim s) with _ -> Unix.gettimeofday ())
+    | None -> Unix.gettimeofday ()
+  in
+  let tm = Unix.gmtime now in
+  (tm.Unix.tm_year + 1900, tm.Unix.tm_mon + 1, tm.Unix.tm_mday)
+
+(* Fingerprints of a previous SARIF report: (ruleId, first logical
+   location).  Message text and witness stay out of the key so a reworded
+   diagnostic doesn't resurrect an accepted finding. *)
+let load_baseline path =
+  match J.of_file path with
+  | Error e ->
+    Printf.eprintf "baseline: %s\n" e;
+    exit 2
+  | Ok doc ->
+    let tbl = Hashtbl.create 64 in
+    let arr_of = function Some (J.Arr xs) -> xs | _ -> [] in
+    let str_of j = Option.value ~default:"" (Option.bind j J.to_str) in
+    List.iter
+      (fun run ->
+        List.iter
+          (fun r ->
+            let rule = str_of (J.member "ruleId" r) in
+            let fqn =
+              match arr_of (J.member "locations" r) with
+              | loc :: _ -> (
+                match arr_of (J.member "logicalLocations" loc) with
+                | ll :: _ -> str_of (J.member "fullyQualifiedName" ll)
+                | [] -> "")
+              | [] -> ""
+            in
+            if rule <> "" then Hashtbl.replace tbl (rule, fqn) ())
+          (arr_of (J.member "results" run)))
+      (arr_of (J.member "runs" doc));
+    tbl
+
+(* One randomized ECO delta for the --incremental self-test: a gate swap,
+   a keeper deletion, or a keeper-enable rewire — the edit classes the
+   flow's own repair/minimize stages produce. *)
+let eco_delta rng nl =
+  let module Rng = Smt_util.Rng in
+  let module Netlist = Smt_netlist.Netlist in
+  let module Cell = Smt_cell.Cell in
+  let module Func = Smt_cell.Func in
+  let pick = function
+    | [] -> None
+    | xs -> Some (List.nth xs (Rng.int rng (List.length xs)))
+  in
+  let swap_gate () =
+    let comb =
+      List.filter
+        (fun i ->
+          let k = (Netlist.cell nl i).Cell.kind in
+          k = Func.Nand2 || k = Func.Nor2)
+        (Netlist.live_insts nl)
+    in
+    match pick comb with
+    | None -> ()
+    | Some iid ->
+      let c = Netlist.cell nl iid in
+      let k' = if c.Cell.kind = Func.Nand2 then Func.Nor2 else Func.Nand2 in
+      Netlist.replace_cell nl iid
+        (Library.variant ~drive:c.Cell.drive (Netlist.lib nl) k' c.Cell.vth
+           c.Cell.style)
+  in
+  let holders () =
+    List.filter
+      (fun i -> (Netlist.cell nl i).Cell.kind = Func.Holder)
+      (Netlist.live_insts nl)
+  in
+  match Rng.int rng 3 with
+  | 0 -> swap_gate ()
+  | 1 -> (
+    match pick (holders ()) with
+    | None -> swap_gate ()
+    | Some h -> Netlist.remove_inst nl h)
+  | _ -> (
+    let nets = ref [] in
+    Netlist.iter_nets nl (fun nid ->
+        if not (Netlist.is_clock_net nl nid) then nets := nid :: !nets);
+    match (pick (holders ()), pick (List.rev !nets)) with
+    | Some h, Some nid -> Netlist.connect nl h "MTE" nid
+    | _ -> swap_gate ())
+
+(* --incremental N: prove Verify.update against from-scratch analysis on
+   this very build, not just in the test suite — N randomized ECO deltas
+   per circuit, byte-compared, with the transfer counts as evidence the
+   update actually did less work. *)
+let incremental_selftest ~seed ~deltas gens =
+  let module Rng = Smt_util.Rng in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, gen) ->
+      let nl = gen (lib ()) in
+      let rng = Rng.create (0xec0 + seed) in
+      let session, _ = Verify.start nl in
+      let upd_t = ref 0 and full_t = ref 0 in
+      for i = 1 to deltas do
+        eco_delta rng nl;
+        let ru = Verify.update session in
+        let rf = Verify.analyze nl in
+        upd_t := !upd_t + ru.Verify.transfers;
+        full_t := !full_t + rf.Verify.transfers;
+        let render r =
+          String.concat "\n" (List.map Rules.to_string r.Verify.findings)
+        in
+        if render ru <> render rf || ru.Verify.values <> rf.Verify.values then begin
+          incr failures;
+          Printf.eprintf "%s: delta %d/%d: incremental diverged from full\n%!" name
+            i deltas
+        end
+      done;
+      Printf.printf "%s: %d deltas, incremental=%d transfers, full=%d transfers%s\n"
+        name deltas !upd_t !full_t
+        (if !failures = 0 then ", identical findings+values" else ""))
+    gens;
+  if !failures > 0 then exit 1
+
 let lint_cmd =
-  let run obs circuits technique seed raw jobs format sarif_out waivers fault fault_seed =
+  let run obs circuits technique seed raw jobs format sarif_out waivers baseline
+      incremental fault fault_seed =
     let jobs = jobs_of jobs in
     let circuits = match circuits with [] -> List.map fst Suite.all | cs -> cs in
     let gens =
@@ -684,16 +808,30 @@ let lint_cmd =
     | s ->
       Printf.eprintf "unknown format %s (text|json|sarif)\n" s;
       exit 2);
+    let today = today_utc () in
     let wv =
       match waivers with
       | None -> []
       | Some path -> (
         match Waiver.load path with
-        | Ok w -> w
+        | Ok w ->
+          List.iter
+            (fun (e : Waiver.entry) ->
+              match e.Waiver.w_expires with
+              | Some (y, m, d) when Waiver.expired ~today e ->
+                Printf.eprintf
+                  "waivers: line %d (%s %s) expired %04d-%02d-%02d; finding no \
+                   longer suppressed\n\
+                   %!"
+                  e.Waiver.w_line e.Waiver.w_rule e.Waiver.w_loc y m d
+              | _ -> ())
+            w;
+          w
         | Error e ->
           Printf.eprintf "waivers: %s\n" e;
           exit 2)
     in
+    let baseline_keys = Option.map load_baseline baseline in
     let fault =
       match fault with
       | None -> None
@@ -705,14 +843,25 @@ let lint_cmd =
             (String.concat ", " (List.map Fault.name Fault.all));
           exit 2)
     in
-    let suffix = if raw then "raw" else technique in
+    if incremental > 0 then begin
+      incremental_selftest ~seed ~deltas:incremental gens;
+      finish obs;
+      exit 0
+    end;
+    (* Multi-domain circuits come out of their generator already
+       MT-structured, so the flow never runs on them: they lint raw. *)
+    let raw_for name = raw || Suite.is_multi_domain name in
+    let suffix_for name = if raw_for name then "raw" else technique in
     (* One workload per circuit; each job builds, runs the flow (unless
        --raw), optionally injects a fault, and analyzes.  Par.map keeps
        results — and therefore every output format — in input order, so
-       the report is byte-identical at any job count. *)
+       the report is byte-identical at any job count.  The mode fan-out
+       inside Verify gets the job budget only when a single circuit is
+       requested; otherwise the circuits are the parallel axis. *)
+    let vjobs = match gens with [ _ ] -> jobs | _ -> 1 in
     let process (name, gen) =
       let nl = gen (lib ()) in
-      if not raw then
+      if not (raw_for name) then
         ignore (Flow.run ~options:{ Flow.default_options with Flow.seed } t nl);
       let inj =
         match fault with
@@ -722,9 +871,12 @@ let lint_cmd =
           | Some i -> Some (Fault.name f, i)
           | None -> None)
       in
-      let r = Verify.analyze nl in
-      let kept, waived = Waiver.apply wv r.Verify.findings in
-      ( { Sarif.wl_name = name ^ "/" ^ suffix; wl_findings = kept; wl_waived = waived },
+      let r = Verify.analyze ~jobs:vjobs nl in
+      let kept, waived = Waiver.apply ~today wv r.Verify.findings in
+      ( { Sarif.wl_name = name ^ "/" ^ suffix_for name;
+          wl_findings = kept;
+          wl_waived = waived;
+        },
         inj )
     in
     let results = Smt_obs.Par.map ~jobs process gens in
@@ -789,7 +941,7 @@ let lint_cmd =
       J.to_file path (Sarif.render workloads);
       Printf.eprintf "SARIF written to %s\n%!" path
     | None -> ());
-    ledger_append obs ~kind:"lint" ~technique:suffix ~jobs
+    ledger_append obs ~kind:"lint" ~technique:(if raw then "raw" else technique) ~jobs
       (List.map
          (fun (wl : Sarif.workload) ->
            {
@@ -805,8 +957,34 @@ let lint_cmd =
            })
          workloads);
     finish obs;
-    if List.exists (fun (wl : Sarif.workload) -> Rules.has_errors wl.Sarif.wl_findings) workloads
-    then exit 1
+    (* With a baseline, only findings absent from it gate the exit code:
+       the accepted debt stays visible in the report but doesn't fail CI. *)
+    (match baseline_keys with
+    | None ->
+      if
+        List.exists
+          (fun (wl : Sarif.workload) -> Rules.has_errors wl.Sarif.wl_findings)
+          workloads
+      then exit 1
+    | Some known ->
+      let fresh =
+        List.concat_map
+          (fun (wl : Sarif.workload) ->
+            List.filter
+              (fun (f : Rules.finding) ->
+                not
+                  (Hashtbl.mem known
+                     (f.Rules.rule.Rules.id, wl.Sarif.wl_name ^ "/" ^ f.Rules.loc)))
+              wl.Sarif.wl_findings)
+          workloads
+      in
+      let total =
+        List.fold_left
+          (fun n (wl : Sarif.workload) -> n + List.length wl.Sarif.wl_findings)
+          0 workloads
+      in
+      Printf.eprintf "baseline: %d finding(s), %d new\n%!" total (List.length fresh);
+      if Rules.has_errors fresh then exit 1)
   in
   let circuits_arg =
     Arg.(
@@ -850,16 +1028,38 @@ let lint_cmd =
   let fault_seed_arg =
     Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Seed for the fault site choice.")
   in
+  let baseline_lint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "A previous SARIF report; findings already in it (matched by rule id and \
+             logical location) no longer gate the exit code — only new Error findings \
+             exit 1.")
+  in
+  let incremental_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "incremental" ] ~docv:"N"
+          ~doc:
+            "Self-test mode: apply $(docv) randomized ECO deltas per circuit and check \
+             that incremental re-verification matches a from-scratch analysis \
+             byte-for-byte.  Exits 1 on any divergence.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Semantic standby verification: abstract interpretation of each circuit's \
-          sleep state (MTE asserted, clocks parked), reporting floating nets read by \
-          always-on logic, crowbar-risk inputs, useless holders, MTE polarity bugs, and \
-          floating retention-FF inputs.  Exits 1 when unwaived Error findings remain.")
+          sleep state across every power-domain mode vector (MTE asserted, clocks \
+          parked), reporting floating nets read by always-on logic, crowbar-risk \
+          inputs, useless holders, MTE polarity bugs, floating retention-FF inputs, \
+          and cross-domain crossing bugs.  Exits 1 when unwaived Error findings \
+          remain.")
     Term.(
       const run $ obs_term $ circuits_arg $ technique_arg $ seed_arg $ raw_arg $ jobs_arg
-      $ format_arg $ sarif_out_arg $ waivers_arg $ fault_arg $ fault_seed_arg)
+      $ format_arg $ sarif_out_arg $ waivers_arg $ baseline_lint_arg $ incremental_arg
+      $ fault_arg $ fault_seed_arg)
 
 (* --- crash-tolerant campaign runner: smt_flow campaign {run,status,resume,merge,worker} --- *)
 

@@ -108,6 +108,152 @@ let fig23_example lib =
   Builder.gate_into b Func.Xor2 [ q4; g2 ] o1;
   Builder.netlist b
 
+(* A post-MT multi-domain SoC: 2-4 blocks, each its own sleepable power
+   domain with a private enable, sleep switch, and output holders, plus
+   a ring of domain crossings (each domain exports one net, through a
+   declared isolation holder, to a reader gate in the next domain).
+   Healthy by construction: DRC-clean and lint-clean in every sleep
+   mode, so tests and faults mutate from a known-good baseline.  The
+   netlist is already MT-structured — run the verifier on it directly,
+   not the flow. *)
+let multi_domain ?(domains = 3) ~name lib =
+  if domains < 2 || domains > 4 then invalid_arg "Suite.multi_domain: 2..4 domains";
+  let specs =
+    [
+      ("a", fun lib -> Generators.ripple_adder ~registered:true ~name:"blk" ~bits:4 lib);
+      ("b", fun lib -> Generators.counter ~name:"blk" ~bits:4 lib);
+      ("c", fun lib -> Generators.crc ~name:"blk" ~bits:4 ~taps:[ 1; 3 ] lib);
+      ("d", fun lib -> Generators.kogge_stone ~registered:true ~name:"blk" ~bits:4 lib);
+    ]
+    |> List.filteri (fun i _ -> i < domains)
+  in
+  let nl = Smt_netlist.Compose.merge ~name (List.map (fun (p, g) -> (p, g lib)) specs) in
+  let doms = List.map fst specs in
+  let enable = List.map (fun d -> (d, Netlist.add_input nl ("mte_" ^ d))) doms in
+  List.iter (fun (d, e) -> Netlist.add_domain nl ~name:d ~mte:(Some e)) enable;
+  (* membership: merge prefixed every block instance with its domain *)
+  let dom_of_name nm =
+    List.find_opt (fun d -> String.starts_with ~prefix:(d ^ "_") nm) doms
+  in
+  Netlist.iter_insts nl (fun iid ->
+      match dom_of_name (Netlist.inst_name nl iid) with
+      | Some d -> Netlist.set_inst_domain nl iid (Some d)
+      | None -> ());
+  (* every combinational member becomes a VGND-style MT-cell *)
+  let is_comb k =
+    match k with
+    | Func.Dff | Func.Sleep_switch | Func.Holder | Func.Clkbuf -> false
+    | _ -> true
+  in
+  Netlist.iter_insts nl (fun iid ->
+      let c = Netlist.cell nl iid in
+      if is_comb c.Smt_cell.Cell.kind && Netlist.inst_domain nl iid <> None then
+        Netlist.replace_cell nl iid
+          (Library.variant ~drive:c.Smt_cell.Cell.drive lib c.Smt_cell.Cell.kind Vth.Low
+             Vth.Mt_vgnd));
+  let clk = clock_of nl in
+  let mt_cell kind = Library.variant lib kind Vth.Low Vth.Mt_vgnd in
+  let dff_qs d =
+    let qs = ref [] in
+    Netlist.iter_insts nl (fun iid ->
+        if
+          (Netlist.cell nl iid).Smt_cell.Cell.kind = Func.Dff
+          && Netlist.inst_domain nl iid = Some d
+        then
+          match Netlist.output_net nl iid with
+          | Some q -> qs := q :: !qs
+          | None -> ());
+    List.rev !qs
+  in
+  (* crossing ring: domain i exports one net to a reader in domain i+1 *)
+  let holder_cell = Library.holder lib in
+  let k = List.length doms in
+  List.iteri
+    (fun i di ->
+      let dj = List.nth doms ((i + 1) mod k) in
+      let ei = List.assoc di enable in
+      let q1, q2 =
+        match dff_qs di with
+        | a :: b :: _ -> (a, b)
+        | [ a ] -> (a, a)
+        | [] -> invalid_arg "Suite.multi_domain: block without flip-flops"
+      in
+      let xnet = Netlist.fresh_net nl ("xn_" ^ di) in
+      let xg =
+        Netlist.add_inst nl
+          ~name:(Netlist.fresh_inst_name nl ("xg_" ^ di))
+          (mt_cell Func.Nand2)
+          [ ("A", q1); ("B", q2); ("Z", xnet) ]
+      in
+      Netlist.set_inst_domain nl xg (Some di);
+      (* declared isolation at the boundary, clamped by the source
+         domain's own enable *)
+      let iso =
+        Netlist.add_inst nl
+          ~name:(Netlist.fresh_inst_name nl ("iso_" ^ di))
+          holder_cell
+          [ ("MTE", ei); ("Z", xnet) ]
+      in
+      Netlist.set_isolation nl iso true;
+      let qj =
+        match dff_qs dj with q :: _ -> q | [] -> assert false
+      in
+      let rnet = Netlist.fresh_net nl ("xr_" ^ dj) in
+      let rg =
+        Netlist.add_inst nl
+          ~name:(Netlist.fresh_inst_name nl ("rg_" ^ dj ^ "_" ^ di))
+          (mt_cell Func.Nand2)
+          [ ("A", xnet); ("B", qj); ("Z", rnet) ]
+      in
+      Netlist.set_inst_domain nl rg (Some dj);
+      (* land the crossing in a register of the reading domain *)
+      let qn = Netlist.fresh_net nl ("xq_" ^ dj) in
+      let dff =
+        Netlist.add_inst nl
+          ~name:(Netlist.fresh_inst_name nl ("xdff_" ^ dj))
+          (lv_cell lib Func.Dff)
+          [ ("D", rnet); ("CK", clk); ("Q", qn) ]
+      in
+      Netlist.set_inst_domain nl dff (Some dj);
+      Netlist.mark_output nl qn)
+    doms;
+  (* one sleep switch per domain, gating every MT member *)
+  List.iter
+    (fun (d, e) ->
+      let members = ref [] in
+      Netlist.iter_insts nl (fun iid ->
+          if
+            Vth.style_equal (Netlist.cell nl iid).Smt_cell.Cell.style Vth.Mt_vgnd
+            && Netlist.inst_domain nl iid = Some d
+          then members := iid :: !members);
+      let sw =
+        Netlist.add_inst nl
+          ~name:(Netlist.fresh_inst_name nl ("sw_" ^ d))
+          (Library.switch lib ~width:4.0)
+          [ ("MTE", e) ]
+      in
+      Netlist.set_inst_domain nl sw (Some d);
+      List.iter (fun m -> Netlist.set_vgnd_switch nl m (Some sw)) (List.rev !members))
+    enable;
+  (* output holders wherever a held value leaves MT logic, enabled by
+     the source domain's own enable *)
+  Netlist.iter_nets nl (fun nid ->
+      if Smt_netlist.Check.holder_required nl nid && Netlist.holder_of nl nid = None then
+        match Netlist.driver nl nid with
+        | Some dp -> (
+          match Netlist.inst_domain nl dp.Netlist.inst with
+          | Some d ->
+            let e = List.assoc d enable in
+            ignore
+              (Netlist.add_inst nl
+                 ~name:(Netlist.fresh_inst_name nl ("hold_" ^ d))
+                 holder_cell
+                 [ ("MTE", e); ("Z", nid) ])
+          | None -> ())
+        | None -> ());
+  ignore (Netlist.drain_touched nl);
+  nl
+
 let all =
   [
     ("circuit_a", circuit_a);
@@ -131,4 +277,9 @@ let all =
             ("alu", Generators.alu ~name:"alu" ~bits:8 lib);
             ("crc", Generators.crc ~name:"crc" ~bits:16 ~taps:[ 2; 15 ] lib);
           ] );
+    ("domains2", fun lib -> multi_domain ~domains:2 ~name:"domains2" lib);
+    ("domains3", fun lib -> multi_domain ~domains:3 ~name:"domains3" lib);
+    ("domains4", fun lib -> multi_domain ~domains:4 ~name:"domains4" lib);
   ]
+
+let is_multi_domain name = String.length name > 7 && String.sub name 0 7 = "domains"

@@ -28,5 +28,20 @@ val fig23_example : Smt_cell.Library.t -> Smt_netlist.Netlist.t
     a few critical gates between registers, with fanouts both inside and
     outside the critical set. *)
 
+val multi_domain :
+  ?domains:int -> name:string -> Smt_cell.Library.t -> Smt_netlist.Netlist.t
+(** A post-MT SoC of [domains] (2-4, default 3) independently-gated
+    power domains: per-domain enable input [mte_<d>], sleep switch, and
+    output holders, plus a ring of boundary crossings each clamped by a
+    declared isolation holder.  Healthy by construction — DRC-clean and
+    lint-clean in every sleep mode — so tests and fault injection mutate
+    from a known-good baseline.  Already MT-structured: feed it to
+    {!Smt_verify.Verify.analyze} directly, not to the flow. *)
+
 val all : (string * (Smt_cell.Library.t -> Smt_netlist.Netlist.t)) list
 (** Named generators, for the CLI. *)
+
+val is_multi_domain : string -> bool
+(** Whether a [all] entry names a {!multi_domain} circuit (these are
+    post-MT already, so the CLI lints them raw instead of running the
+    flow). *)

@@ -29,6 +29,11 @@ let m_stage_ms = Metrics.histogram "flow.stage_ms"
 let m_check_violations = Metrics.counter "check.violations"
 let m_check_repairs = Metrics.counter "check.repairs"
 let m_lint_findings = Metrics.counter "lint.findings"
+
+(* Findings re-reported by later stages, recognised by (rule, location,
+   witness) rather than message text so a reworded message can't leak a
+   duplicate through. *)
+let m_lint_dedup = Metrics.counter "lint.dedup"
 let m_degraded = Metrics.counter "flow.degraded"
 
 (* Stage names become metric-name components: spaces and punctuation to
@@ -251,6 +256,11 @@ let run_with_artifacts ?(options = default_options) technique nl =
   (* Persistent warnings (e.g. a dangling net the flow never touches) are
      reported once, not once per stage. *)
   let seen_violations = Hashtbl.create 97 in
+  (* Incremental lint: the first Post_mt guard seeds a verifier session;
+     later stages re-verify only the cone of nets the stage touched
+     (tracked by the netlist's journal), which [Verify.update] proves
+     equivalent to a from-scratch pass. *)
+  let lint_session = ref None in
   let diag line =
     diagnostics := line :: !diagnostics;
     Log.warn "check" line
@@ -307,12 +317,20 @@ let run_with_artifacts ?(options = default_options) technique nl =
       if !guard_phase = Drc.Post_mt then begin
         let sem =
           Trace.with_span "Flow.lint" ~args:[ ("stage", stage) ] (fun () ->
-              (Verify.analyze nl).Verify.findings)
+              match !lint_session with
+              | None ->
+                let s, r = Verify.start nl in
+                lint_session := Some s;
+                r.Verify.findings
+              | Some s -> (Verify.update s).Verify.findings)
         in
         let sem_fresh =
           List.filter
             (fun f ->
-              let key = Rules.to_string f in
+              let key =
+                String.concat "\x00"
+                  (f.Rules.rule.Rules.id :: f.Rules.loc :: f.Rules.witness)
+              in
               if Hashtbl.mem seen_violations key then false
               else begin
                 Hashtbl.add seen_violations key ();
@@ -320,6 +338,8 @@ let run_with_artifacts ?(options = default_options) technique nl =
               end)
             sem
         in
+        let repeats = List.length sem - List.length sem_fresh in
+        if repeats > 0 then Metrics.incr m_lint_dedup ~by:repeats;
         if sem_fresh <> [] then begin
           Metrics.incr m_lint_findings ~by:(List.length sem_fresh);
           List.iter (fun f -> diag (stage ^ ": lint: " ^ Rules.to_string f)) sem_fresh

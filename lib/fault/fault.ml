@@ -18,12 +18,14 @@ type fault =
   | Undrive_net
   | Holder_wrong_net
   | Invert_mte_polarity
+  | Drop_isolation
+  | Isolation_enable_cross
 
 let all =
   [
     Drop_switch; Disconnect_holder; Poison_library; Break_mte_fanout;
     Orphan_cluster; Zero_width_switch; Undrive_net; Holder_wrong_net;
-    Invert_mte_polarity;
+    Invert_mte_polarity; Drop_isolation; Isolation_enable_cross;
   ]
 
 let name = function
@@ -36,6 +38,8 @@ let name = function
   | Undrive_net -> "undrive-net"
   | Holder_wrong_net -> "holder-wrong-net"
   | Invert_mte_polarity -> "invert-mte-polarity"
+  | Drop_isolation -> "drop-isolation"
+  | Isolation_enable_cross -> "isolation-enable-cross"
 
 let of_name s = List.find_opt (fun f -> String.equal (name f) s) all
 
@@ -47,7 +51,9 @@ let expected_codes = function
   | Orphan_cluster -> [ V.Unreachable_vgnd; V.Orphan_switch ]
   | Zero_width_switch -> [ V.Degenerate_switch ]
   | Undrive_net -> [ V.Undriven_net ]
-  | Holder_wrong_net | Invert_mte_polarity -> []
+  | Holder_wrong_net | Invert_mte_polarity | Drop_isolation
+  | Isolation_enable_cross ->
+    []
 
 (* Rule ids the semantic pass must report; referenced through the
    catalog so a rule rename cannot silently break the mapping. *)
@@ -59,12 +65,20 @@ let expected_rules = function
   | Holder_wrong_net ->
     [ Rules.float_into_awake.Rules.id; Rules.useless_holder.Rules.id ]
   | Invert_mte_polarity -> [ Rules.mte_polarity.Rules.id ]
+  | Drop_isolation -> [ Rules.missing_isolation.Rules.id ]
+  | Isolation_enable_cross -> [ Rules.isolation_enable_off_domain.Rules.id ]
 
 let repairable = function
   | Drop_switch | Disconnect_holder | Poison_library | Break_mte_fanout
   | Orphan_cluster | Zero_width_switch ->
     true
-  | Undrive_net | Holder_wrong_net | Invert_mte_polarity -> false
+  | Undrive_net | Holder_wrong_net | Invert_mte_polarity | Drop_isolation
+  | Isolation_enable_cross ->
+    false
+
+let requires_domains = function
+  | Drop_isolation | Isolation_enable_cross -> true
+  | _ -> false
 
 type injection = {
   fault : fault;
@@ -225,3 +239,55 @@ let inject ~seed nl fault =
         Netlist.connect nl sw "MTE" nname;
         made (Netlist.inst_name nl sw)
           (Printf.sprintf "inverted enable polarity via %s" iname)))
+  | Drop_isolation -> (
+    (* Delete a declared isolation clamp at a domain boundary.  The net
+       is not [holder_required] — every sink is an MT cell — so no
+       structural rule misses the keeper; only the mode-vector analysis
+       sees the crossing float into the awake side. *)
+    let isos = ref [] in
+    Netlist.iter_insts nl (fun iid ->
+        if Netlist.is_isolation nl iid then
+          match Netlist.pin_net nl iid "Z" with
+          | Some nid when not (Nl_check.holder_required nl nid) ->
+            isos := (nid, iid) :: !isos
+          | Some _ | None -> ());
+    match pick_opt rng (List.rev !isos) with
+    | None -> None
+    | Some (nid, iid) ->
+      let target = Netlist.net_name nl nid in
+      let iname = Netlist.inst_name nl iid in
+      Netlist.remove_inst nl iid;
+      made target (Printf.sprintf "deleted isolation holder %s" iname))
+  | Isolation_enable_cross -> (
+    (* Rewire a declared isolation clamp's enable to a different
+       domain's enable net.  Structurally flawless — the pin is still
+       driven by a primary input — but the clamp now engages with the
+       wrong domain's sleep vector. *)
+    let dom_of_net nid =
+      match Netlist.driver nl nid with
+      | Some p -> Netlist.inst_domain nl p.Netlist.inst
+      | None -> None
+    in
+    let sites = ref [] in
+    Netlist.iter_insts nl (fun iid ->
+        if Netlist.is_isolation nl iid then
+          match Netlist.pin_net nl iid "Z" with
+          | Some nid -> (
+            match dom_of_net nid with
+            | Some d -> (
+              let foreign =
+                List.filter_map
+                  (fun (dn, mte) -> if dn <> d then mte else None)
+                  (Netlist.domains nl)
+              in
+              match foreign with
+              | [] -> ()
+              | m :: _ -> sites := (iid, m) :: !sites)
+            | None -> ())
+          | None -> ());
+    match pick_opt rng (List.rev !sites) with
+    | None -> None
+    | Some (iid, m) ->
+      Netlist.connect nl iid "MTE" m;
+      made (Netlist.inst_name nl iid)
+        (Printf.sprintf "rewired isolation enable to %s" (Netlist.net_name nl m)))

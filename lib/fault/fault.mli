@@ -12,11 +12,13 @@
     [repairable] says whether [Smt_check.Repair.repair] must then restore
     a clean report.
 
-    The last two classes are {e semantic-only}: the mutated netlist is
+    The last four classes are {e semantic-only}: the mutated netlist is
     structurally flawless (every DRC rule passes), and only the
     value-level standby analysis can see the bug — a keeper wired to the
-    wrong net behind an accurate-looking record, and a sleep switch whose
-    enable is inverted so its cluster never sleeps. *)
+    wrong net behind an accurate-looking record, a sleep switch whose
+    enable is inverted so its cluster never sleeps, a deleted isolation
+    clamp at a power-domain boundary, and an isolation clamp enabled by
+    the wrong domain's sleep vector. *)
 
 type fault =
   | Drop_switch  (** remove a sleep switch out from under its members *)
@@ -31,6 +33,12 @@ type fault =
           [holder_of] record on the original — DRC-invisible *)
   | Invert_mte_polarity
       (** splice an inverter into one switch's enable — DRC-invisible *)
+  | Drop_isolation
+      (** delete a declared isolation clamp at a domain boundary whose net
+          is not [holder_required] — DRC-invisible, needs domains *)
+  | Isolation_enable_cross
+      (** rewire an isolation clamp's enable to another domain's enable
+          net — DRC-invisible, needs domains *)
 
 val all : fault list
 
@@ -51,6 +59,12 @@ val expected_rules : fault -> string list
 val repairable : fault -> bool
 (** Whether the repair pass must be able to clear every expected violation
     of this class. *)
+
+val requires_domains : fault -> bool
+(** Whether the class only applies to multi-domain designs (declared
+    power domains plus isolation clamps); injection on a single-domain
+    netlist returns [None].  Coverage tests use a
+    {!Smt_circuits.Suite.multi_domain} fixture for these. *)
 
 type injection = {
   fault : fault;

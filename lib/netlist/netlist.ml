@@ -25,6 +25,8 @@ type instance = {
   mutable i_conns : (string * net_id) list;
   mutable i_vgnd : inst_id option;
   mutable i_dead : bool;
+  mutable i_domain : string option;
+  mutable i_isolation : bool;
 }
 
 type t = {
@@ -40,6 +42,13 @@ type t = {
   mutable ports_out : (string * net_id) list;
   mutable clock : net_id option;
   mutable uniq : int;
+  (* Power-domain table, in declaration order (newest first, reversed by
+     [domains]); [None] = an always-on domain with no sleep enable. *)
+  mutable doms : (string * net_id option) list;
+  (* Touched-net journal: every structural mutation records the nets whose
+     standby value could change, so an incremental re-analysis knows where
+     to re-seed.  Drained (and cleared) by [drain_touched]. *)
+  touched : (net_id, unit) Hashtbl.t;
 }
 
 exception Combinational_cycle of string
@@ -56,10 +65,21 @@ let create ~name ~lib =
     ports_out = [];
     clock = None;
     uniq = 0;
+    doms = [];
+    touched = Hashtbl.create 97;
   }
 
 let design_name t = t.d_name
 let lib t = t.d_lib
+
+(* --- touched-net journal --- *)
+
+let touch t nid = Hashtbl.replace t.touched nid ()
+
+let drain_touched t =
+  let acc = Hashtbl.fold (fun nid () acc -> nid :: acc) t.touched [] in
+  Hashtbl.reset t.touched;
+  List.sort_uniq compare acc
 
 (* --- nets --- *)
 
@@ -80,6 +100,7 @@ let add_net ?(clock = false) t name =
   in
   Hashtbl.add t.net_index name id;
   if clock && t.clock = None then t.clock <- Some id;
+  touch t id;
   id
 
 let fresh_net t stem =
@@ -106,13 +127,15 @@ let mark_output t nid =
   let n = Vec.get t.nets nid in
   if not n.n_is_po then begin
     n.n_is_po <- true;
-    t.ports_out <- (n.net_name, nid) :: t.ports_out
+    t.ports_out <- (n.net_name, nid) :: t.ports_out;
+    touch t nid
   end
 
 let mark_clock t nid =
   let n = Vec.get t.nets nid in
   n.n_is_clock <- true;
-  if t.clock = None then t.clock <- Some nid
+  if t.clock = None then t.clock <- Some nid;
+  touch t nid
 
 let net_count t = Vec.length t.nets
 let net_name t nid = (Vec.get t.nets nid).net_name
@@ -181,9 +204,14 @@ let attach t iid pin_name nid =
     | Some _ | None ->
       if n.n_is_pi then
         invalid_arg (Printf.sprintf "Netlist: net %s is a primary input" n.net_name);
-      n.driver <- Some { inst = iid; pin_name })
-  | Dir_in -> n.sinks <- { inst = iid; pin_name } :: n.sinks
-  | Dir_holder_z -> n.holder <- Some iid
+      n.driver <- Some { inst = iid; pin_name };
+      touch t nid)
+  | Dir_in ->
+    n.sinks <- { inst = iid; pin_name } :: n.sinks;
+    touch t nid
+  | Dir_holder_z ->
+    n.holder <- Some iid;
+    touch t nid
 
 let detach t iid pin_name nid =
   let inst = Vec.get t.insts iid in
@@ -191,19 +219,34 @@ let detach t iid pin_name nid =
   match pin_dir inst.i_cell pin_name with
   | Dir_out -> (
     match n.driver with
-    | Some p when p.inst = iid && String.equal p.pin_name pin_name -> n.driver <- None
+    | Some p when p.inst = iid && String.equal p.pin_name pin_name ->
+      n.driver <- None;
+      touch t nid
     | Some _ | None -> ())
   | Dir_in ->
     n.sinks <-
-      List.filter (fun p -> not (p.inst = iid && String.equal p.pin_name pin_name)) n.sinks
-  | Dir_holder_z -> if n.holder = Some iid then n.holder <- None
+      List.filter (fun p -> not (p.inst = iid && String.equal p.pin_name pin_name)) n.sinks;
+    touch t nid
+  | Dir_holder_z ->
+    if n.holder = Some iid then begin
+      n.holder <- None;
+      touch t nid
+    end
 
 let add_inst t ~name cell pins =
   if Hashtbl.mem t.inst_index name then
     invalid_arg (Printf.sprintf "Netlist.add_inst: duplicate instance %s" name);
   let iid =
     Vec.push t.insts
-      { i_name = name; i_cell = cell; i_conns = []; i_vgnd = None; i_dead = false }
+      {
+        i_name = name;
+        i_cell = cell;
+        i_conns = [];
+        i_vgnd = None;
+        i_dead = false;
+        i_domain = None;
+        i_isolation = false;
+      }
   in
   Hashtbl.add t.inst_index name iid;
   let add_pin (pin_name, nid) =
@@ -238,7 +281,9 @@ let replace_cell t iid new_cell =
     invalid_arg
       (Printf.sprintf "Netlist.replace_cell: %s -> %s changes pin interface"
          inst.i_cell.Cell.name new_cell.Cell.name);
-  inst.i_cell <- new_cell
+  inst.i_cell <- new_cell;
+  (* a style/strength swap can change the standby supply of every pin net *)
+  List.iter (fun (_, nid) -> touch t nid) inst.i_conns
 
 let connect t iid pin_name nid =
   let inst = Vec.get t.insts iid in
@@ -269,6 +314,14 @@ let remove_inst t iid =
   let inst = Vec.get t.insts iid in
   if not inst.i_dead then begin
     List.iter (fun (p, nid) -> detach t iid p nid) inst.i_conns;
+    (* removing a sleep switch changes the standby supply of every member:
+       their outputs must re-seed on an incremental re-analysis *)
+    (if inst.i_cell.Cell.kind = Func.Sleep_switch then
+       Vec.iteri
+         (fun _ m ->
+           if (not m.i_dead) && m.i_vgnd = Some iid then
+             List.iter (fun (_, nid) -> touch t nid) m.i_conns)
+         t.insts);
     inst.i_conns <- [];
     inst.i_vgnd <- None;
     inst.i_dead <- true;
@@ -292,11 +345,42 @@ let set_vgnd_switch t iid sw =
       invalid_arg
         (Printf.sprintf "Netlist.set_vgnd_switch: %s is not a sleep switch" sw_inst.i_name))
   | None -> ());
-  inst.i_vgnd <- sw
+  inst.i_vgnd <- sw;
+  List.iter (fun (_, nid) -> touch t nid) inst.i_conns
 
 let vgnd_switch t iid = (Vec.get t.insts iid).i_vgnd
 
-let set_holder t nid h = (Vec.get t.nets nid).holder <- h
+let set_holder t nid h =
+  (Vec.get t.nets nid).holder <- h;
+  touch t nid
+
+(* --- power domains --- *)
+
+let add_domain t ~name ~mte =
+  if List.mem_assoc name t.doms then
+    invalid_arg (Printf.sprintf "Netlist.add_domain: duplicate domain %s" name);
+  t.doms <- (name, mte) :: t.doms;
+  match mte with Some nid -> touch t nid | None -> ()
+
+let domains t = List.rev t.doms
+
+let set_inst_domain t iid dom =
+  (match dom with
+  | Some d when not (List.mem_assoc d t.doms) ->
+    invalid_arg (Printf.sprintf "Netlist.set_inst_domain: unknown domain %s" d)
+  | Some _ | None -> ());
+  let inst = Vec.get t.insts iid in
+  inst.i_domain <- dom;
+  List.iter (fun (_, nid) -> touch t nid) inst.i_conns
+
+let inst_domain t iid = (Vec.get t.insts iid).i_domain
+
+let set_isolation t iid iso =
+  let inst = Vec.get t.insts iid in
+  inst.i_isolation <- iso;
+  List.iter (fun (_, nid) -> touch t nid) inst.i_conns
+
+let is_isolation t iid = (Vec.get t.insts iid).i_isolation
 
 (* --- traversal --- *)
 

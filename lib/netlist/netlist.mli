@@ -106,6 +106,52 @@ val vgnd_switch : t -> inst_id -> inst_id option
 val set_holder : t -> net_id -> inst_id option -> unit
 (** Record a holder instance as the keeper of a net. *)
 
+(** {1 Power domains}
+
+    A domain is a named group of instances that sleeps (or stays awake)
+    together.  A domain with an MTE enable net is sleepable: asserting
+    that net cuts the domain's MT-cells.  A domain without one is
+    always-on.  Membership is per instance; unassigned instances belong
+    to the implicit always-on domain.  Isolation marks declare a holder
+    as a boundary (level) cell so analyses and generators can tell a
+    crossing keeper from an ordinary output holder.  The table survives
+    {!Writer}/{!Parser} round-trips via [@domain]/[@member]/[@isolation]
+    pragmas. *)
+
+val add_domain : t -> name:string -> mte:net_id option -> unit
+(** Declare a domain; [mte = None] declares an always-on domain.
+    Raises [Invalid_argument] on a duplicate name. *)
+
+val domains : t -> (string * net_id option) list
+(** Declared domains in declaration order. *)
+
+val set_inst_domain : t -> inst_id -> string option -> unit
+(** Assign (or clear) an instance's domain.  Raises [Invalid_argument]
+    on an undeclared domain name. *)
+
+val inst_domain : t -> inst_id -> string option
+
+val set_isolation : t -> inst_id -> bool -> unit
+(** Mark an instance as a declared isolation/level-holder cell at a
+    domain boundary. *)
+
+val is_isolation : t -> inst_id -> bool
+
+(** {1 Touched-net journal}
+
+    Every structural mutation (pin attach/detach, cell swap, switch or
+    holder rewiring, domain assignment) records the nets whose standby
+    value could have changed.  An incremental analysis drains the
+    journal to learn where to re-seed; see [Smt_verify.Verify.update]. *)
+
+val touch : t -> net_id -> unit
+(** Record a net as dirty (mutators call this themselves; exposed for
+    callers that invalidate analysis state out of band). *)
+
+val drain_touched : t -> net_id list
+(** The dirty nets accumulated since the last drain, sorted and
+    deduplicated; clears the journal. *)
+
 (** {1 Traversal} *)
 
 val live_insts : t -> inst_id list

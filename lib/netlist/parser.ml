@@ -232,6 +232,38 @@ let of_string ?(file = "<netlist>") ~lib text =
             (Parse_error
                (Printf.sprintf "%s: @vgnd refers to unknown instance %s or %s" file inst
                   sw)))
+      | [ "@domain"; dom; mte ] ->
+        let mte_net =
+          if String.equal mte "-" then None
+          else
+            match Netlist.find_net nl mte with
+            | Some nid -> Some nid
+            | None ->
+              raise
+                (Parse_error
+                   (Printf.sprintf "%s: @domain %s refers to unknown net %s" file dom mte))
+        in
+        Netlist.add_domain nl ~name:dom ~mte:mte_net
+      | [ "@member"; inst; dom ] -> (
+        match Netlist.find_inst nl inst with
+        | Some i -> (
+          try Netlist.set_inst_domain nl i (Some dom)
+          with Invalid_argument _ ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "%s: @member %s refers to unknown domain %s" file
+                    inst dom)))
+        | None ->
+          raise
+            (Parse_error
+               (Printf.sprintf "%s: @member refers to unknown instance %s" file inst)))
+      | [ "@isolation"; inst ] -> (
+        match Netlist.find_inst nl inst with
+        | Some i -> Netlist.set_isolation nl i true
+        | None ->
+          raise
+            (Parse_error
+               (Printf.sprintf "%s: @isolation refers to unknown instance %s" file inst)))
       | _ -> ())
     directives;
   nl

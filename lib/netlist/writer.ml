@@ -34,6 +34,22 @@ let to_string nl =
         Buffer.add_string b
           (Printf.sprintf "  // @vgnd %s %s\n" (Netlist.inst_name nl iid)
              (Netlist.inst_name nl sw)));
+  List.iter
+    (fun (dom, mte) ->
+      Buffer.add_string b
+        (Printf.sprintf "  // @domain %s %s\n" dom
+           (match mte with Some nid -> Netlist.net_name nl nid | None -> "-")))
+    (Netlist.domains nl);
+  Netlist.iter_insts nl (fun iid ->
+      match Netlist.inst_domain nl iid with
+      | None -> ()
+      | Some dom ->
+        Buffer.add_string b
+          (Printf.sprintf "  // @member %s %s\n" (Netlist.inst_name nl iid) dom));
+  Netlist.iter_insts nl (fun iid ->
+      if Netlist.is_isolation nl iid then
+        Buffer.add_string b
+          (Printf.sprintf "  // @isolation %s\n" (Netlist.inst_name nl iid)));
   Buffer.add_string b "endmodule\n";
   Buffer.contents b
 

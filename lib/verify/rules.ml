@@ -55,10 +55,43 @@ let retention_input_float =
     repairable = false;
   }
 
+let cross_domain_float =
+  {
+    id = "cross-domain-float-into-awake";
+    severity = Error;
+    summary = "net from a sleeping domain floats into logic of an awake domain";
+    repairable = false;
+  }
+
+let missing_isolation =
+  {
+    id = "missing-isolation-at-boundary";
+    severity = Error;
+    summary = "net leaves a sleeping domain with no isolation holder at the boundary";
+    repairable = false;
+  }
+
+let isolation_enable_off_domain =
+  {
+    id = "isolation-enable-from-off-domain";
+    severity = Error;
+    summary = "isolation holder's enable belongs to a different domain than the one it guards";
+    repairable = false;
+  }
+
+let always_on_path =
+  {
+    id = "always-on-path-through-off-domain";
+    severity = Warn;
+    summary = "combinational path between awake endpoints routes through a sleeping domain";
+    repairable = false;
+  }
+
 let all =
   [
     float_into_awake; crowbar_risk; useless_holder; mte_polarity; mte_undetermined;
-    retention_input_float;
+    retention_input_float; cross_domain_float; missing_isolation;
+    isolation_enable_off_domain; always_on_path;
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all
@@ -68,19 +101,21 @@ let severity_name = function Error -> "error" | Warn -> "warning"
 type finding = {
   rule : rule;
   loc : string;
+  mode : string;
   message : string;
   witness : string list;
 }
 
 let to_string f =
+  let mode = if f.mode = "" then "" else Printf.sprintf " [%s]" f.mode in
   let via =
     match f.witness with
     | [] -> ""
     | steps -> Printf.sprintf " [via %s]" (String.concat " -> " steps)
   in
-  Printf.sprintf "%s %s @ %s: %s%s"
+  Printf.sprintf "%s %s @ %s%s: %s%s"
     (severity_name f.rule.severity)
-    f.rule.id f.loc f.message via
+    f.rule.id f.loc mode f.message via
 
 let errors fs = List.filter (fun f -> f.rule.severity = Error) fs
 let warnings fs = List.filter (fun f -> f.rule.severity = Warn) fs

@@ -40,6 +40,26 @@ val retention_input_float : rule
 (** A retention flip-flop's data input floats in standby: the saved
     state would be restored into corrupted surroundings. *)
 
+val cross_domain_float : rule
+(** A net driven from a sleeping power domain may float into logic of a
+    domain that is still awake in the analyzed mode — the multi-domain
+    form of [float_into_awake], reported even when a (non-functional)
+    holder is wired. *)
+
+val missing_isolation : rule
+(** A net crosses a sleeping domain's boundary toward powered readers
+    with no isolation holder wired on it at all. *)
+
+val isolation_enable_off_domain : rule
+(** An isolation holder guards a sleeping domain's output but its MTE
+    enable comes from a {e different} domain, so the clamp engages (or
+    releases) on the wrong domain's schedule. *)
+
+val always_on_path : rule
+(** A combinational path between awake endpoints routes through a
+    sleeping domain's MT logic: the through-gate's output is stale or
+    floating while both ends still run. *)
+
 val all : rule list
 val find : string -> rule option
 
@@ -49,13 +69,17 @@ val severity_name : severity -> string
 type finding = {
   rule : rule;
   loc : string;  (** ["net:<name>"] or ["inst:<name>"] *)
+  mode : string;
+      (** sleep-mode vector the finding was observed in, e.g.
+          ["sleep{a,b}"]; [""] on single-domain (legacy) analyses *)
   message : string;
   witness : string list;
       (** propagation path, origin first, as [net:]/[inst:] steps *)
 }
 
 val to_string : finding -> string
-(** One line: [severity rule-id @ loc: message \[via a -> b\]]. *)
+(** One line: [severity rule-id @ loc \[mode\]: message \[via a -> b\]];
+    the [\[mode\]] segment is omitted when [mode] is empty. *)
 
 val errors : finding list -> finding list
 val warnings : finding list -> finding list

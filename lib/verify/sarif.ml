@@ -28,12 +28,23 @@ let descriptor (r : Rules.rule) =
         J.obj [ ("repairable", J.boolean r.Rules.repairable) ] );
     ]
 
-let logical_location ~wl fqn =
-  J.obj
-    [
-      ( "logicalLocations",
-        J.arr [ J.obj [ ("fullyQualifiedName", J.str (wl ^ "/" ^ fqn)); ("kind", J.str "element") ] ] );
-    ]
+let logical_location ?mode ~wl fqn =
+  let entries =
+    J.obj [ ("fullyQualifiedName", J.str (wl ^ "/" ^ fqn)); ("kind", J.str "element") ]
+    ::
+    (match mode with
+    | Some m when m <> "" ->
+      (* the sleep-mode vector the finding was observed in, as a second
+         logical location so SARIF viewers group by domain mode *)
+      [
+        J.obj
+          [
+            ("fullyQualifiedName", J.str (wl ^ "/mode/" ^ m)); ("kind", J.str "namespace");
+          ];
+      ]
+    | _ -> [])
+  in
+  J.obj [ ("logicalLocations", J.arr entries) ]
 
 let result ~wl ?waived_by (f : Rules.finding) =
   let base =
@@ -42,7 +53,7 @@ let result ~wl ?waived_by (f : Rules.finding) =
       ("ruleIndex", string_of_int (rule_index f.Rules.rule));
       ("level", J.str (sarif_level f.Rules.rule.Rules.severity));
       ("message", J.obj [ ("text", J.str f.Rules.message) ]);
-      ("locations", J.arr [ logical_location ~wl f.Rules.loc ]);
+      ("locations", J.arr [ logical_location ~mode:f.Rules.mode ~wl f.Rules.loc ]);
     ]
   in
   let witness =

@@ -5,7 +5,10 @@
     netlist objects rather than file regions, so locations are
     [logicalLocations] with a [fullyQualifiedName] of
     ["<workload>/net:<name>"] (or [inst:]); the witness path rides
-    along as a [relatedLocations] sequence.  Waived findings are kept
+    along as a [relatedLocations] sequence.  A finding observed in a
+    named sleep mode carries a second logical location
+    ["<workload>/mode/<mode>"] of kind [namespace] so viewers can group
+    by domain mode.  Waived findings are kept
     in the log with an [external] suppression, so a waiver remains
     auditable in the artifact.
 

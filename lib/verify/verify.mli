@@ -1,21 +1,29 @@
-(** Static standby-state verifier: abstract interpretation of sleep mode.
+(** Static standby-state verifier: abstract interpretation of sleep
+    modes over a mode vector of power domains.
 
-    The netlist is evaluated once, in the standby configuration the
-    paper's circuits sleep in (MTE asserted, clocks parked low, primary
-    inputs frozen at unknown-but-stable levels), over the
-    {!Lattice.v} value domain:
+    The netlist is evaluated over the {!Lattice.v} value domain once
+    per {e sleep mode}.  A netlist with no sleepable power domain
+    (see {!Smt_netlist.Netlist.add_domain}) has exactly one mode — the
+    paper's single standby configuration (MTE asserted, clocks parked
+    low, primary inputs frozen) — and behaves exactly as before.  A
+    netlist with [k] sleepable domains is analyzed in the [2^k - 1]
+    modes where at least one domain sleeps; each domain's declared
+    enable net seeds [One] when that domain is asleep in the mode and
+    [Zero] when it is awake.
 
-    - primary inputs seed [Held] ([One] for the MTE net, [Zero] for
-      clock nets), flip-flop outputs seed [Held], undriven nets seed
-      [Float];
+    Within one mode:
+
+    - primary inputs seed [Held] ([One] for the MTE net / asleep
+      domain enables, [Zero] for clock nets and awake domain enables),
+      flip-flop outputs seed [Held], undriven nets seed [Float];
     - a powered gate transfers through exact three-valued evaluation
       ([Held] as X), with any possibly-floating input contaminating the
       output to [Top];
     - a VGND-style MT-cell's output is [Float] when its sleep switch is
-      off (MTE = 1), evaluated normally when the switch is (wrongly)
-      stuck on, and [Top] when the switch's enable is not a constant —
-      where the switch it hangs from comes from {!Smt_check.Walk}, the
-      traversal the structural DRC uses;
+      off, evaluated normally when the switch is (wrongly) stuck on,
+      and [Top] when the switch's enable is not a constant — where the
+      switch it hangs from comes from {!Smt_check.Walk}, the traversal
+      the structural DRC uses;
     - a holder keeps its net: [Float] becomes [Held] when the holder's
       own MTE pin is 1.  Holders are resolved by the net their Z pin is
       {e wired} to ({!Smt_check.Walk.holder_pins}), not by the
@@ -27,34 +35,81 @@
     [Top].  {b Soundness}: every transfer is monotone over a finite
     lattice and values only move up (stores join), so the fixpoint
     exists, is reached in finitely many steps, and over-approximates
-    every concrete standby state — a net the analysis calls [Zero],
-    [One], or [Held] cannot float in silicon, so the absence of
-    [float-into-awake] findings is a guarantee, while [Top]-based
+    every concrete standby state in that mode — a net the analysis
+    calls [Zero], [One], or [Held] cannot float in silicon, so the
+    absence of float findings is a guarantee, while [Top]-based
     findings are conservative warnings.
 
-    Findings are reported against the {!Rules} catalog, each with a
-    witness propagation path from its origin.  The analysis never
-    mutates the netlist.
+    Witness paths are rebuilt from the fixpoint values by a memoized
+    deterministic walk, so they depend only on the final abstract store
+    — never on worklist visit order.  Modes fan out through
+    {!Smt_obs.Par.map}; results are byte-identical at any job count.
+    Findings that agree on (rule, location, witness) across modes are
+    reported once, from the shallowest mode; suppressed repeats count
+    into the [lint.mode_dedup] metric.
 
-    Emits [lint.runs] / [lint.transfers] / [lint.widened] metrics and a
-    [Verify.analyze] trace span. *)
+    Findings are reported against the {!Rules} catalog.  The analysis
+    never mutates the netlist (it does consume the touched-net journal
+    in {!start} / {!update}).
+
+    Emits [lint.runs] / [lint.updates] / [lint.transfers] /
+    [lint.widened] / [lint.mode_dedup] metrics and
+    [Verify.analyze] / [Verify.start] / [Verify.update] trace spans. *)
 
 type result = {
   findings : Rules.finding list;
-      (** deterministic order: net rules in net-id order, then instance
-          rules in instance-id order *)
+      (** deterministic order: modes shallowest-first, within a mode net
+          rules in net-id order then instance rules in instance-id
+          order; cross-mode duplicates removed *)
   values : (string * Lattice.v) list;
-      (** every net's standby value, in net-id order *)
-  transfers : int;  (** worklist transfer-function evaluations *)
+      (** every net's standby value in the {e deepest} (all-asleep)
+          mode, in net-id order *)
+  transfers : int;
+      (** worklist transfer-function evaluations, summed over modes
+          (for an {!update}: this update only) *)
   widened : int;  (** nets forced to [Top] to break cycles *)
+  modes : string list;  (** analyzed mode names; [[""]] on legacy runs *)
 }
 
-val analyze : Smt_netlist.Netlist.t -> result
+val analyze : ?jobs:int -> Smt_netlist.Netlist.t -> result
 (** Assumes post-MT structure (run it on a flow product or any netlist
     without MT cells); on a netlist between MT replacement and switch
     insertion every MT output is reported floating, which is true but
     not useful — the flow guard only engages the semantic pass once
-    switch insertion has run. *)
+    switch insertion has run.  [jobs] fans the modes out in parallel;
+    the result is byte-identical at any job count. *)
 
 val value_of : result -> string -> Lattice.v option
 (** Lookup in [values] by net name. *)
+
+(** {1 Incremental re-analysis}
+
+    A session keeps the per-mode fixpoint stores alive between runs so
+    an ECO-sized edit re-analyzes only its cone.  {!update} takes the
+    set of nets whose standby value may have changed (by default the
+    netlist's touched-net journal, which every structural mutator
+    feeds), closes it forward over data, supply, and holder-enable
+    edges, re-seeds and re-propagates just that cone, then re-evaluates
+    rules over the whole store.
+
+    {b Soundness of the incremental step}: the cone is forward-closed,
+    so every transfer that could read a changed value has its output
+    inside the cone and is re-run from bottom; values outside the cone
+    are exactly the previous fixpoint restricted to nets whose inputs
+    did not change.  Since witnesses are a pure function of the final
+    store and rule evaluation rereads the whole store, the report is
+    byte-identical to a from-scratch {!analyze} (property-tested over
+    randomized ECO deltas in [test/test_props.ml]).  If the domain
+    table itself changed, the mode vector is stale and the session
+    transparently restarts from scratch. *)
+
+type session
+
+val start : ?jobs:int -> Smt_netlist.Netlist.t -> session * result
+(** Full analysis that also retains its stores; drains the netlist's
+    touched-net journal so a following {!update} starts clean. *)
+
+val update : ?jobs:int -> ?dirty:Smt_netlist.Netlist.net_id list -> session -> result
+(** Re-analyze after netlist edits.  [dirty] defaults to draining the
+    netlist's touched-net journal; pass it explicitly only if it covers
+    {e every} net touched since the last run. *)

@@ -108,8 +108,17 @@ let test_check_library_flags_poison () =
 (* --- fault-injection coverage: every class maps to its expected codes
    (structural DRC) or expected rules (semantic standby pass) --- *)
 
-let codes_of nl place =
-  List.map (fun v -> v.Violation.code) (Drc.check ~place ~expect_buffered_mte:false nl)
+let codes_of ?place nl =
+  List.map (fun v -> v.Violation.code) (Drc.check ?place ~expect_buffered_mte:false nl)
+
+(* Domain-only classes need declared domains and isolation clamps, which
+   the flow-built multiplier doesn't have; they get the multi-domain SoC. *)
+let fixture_for fault ~seed =
+  if Fault.requires_domains fault then
+    (Smt_circuits.Suite.multi_domain ~name:(Printf.sprintf "chkd%d" seed) lib, None)
+  else
+    let nl, place = mt_netlist ~seed () in
+    (nl, Some place)
 
 let rule_ids_of nl =
   List.map (fun f -> f.Rules.rule.Rules.id) (Verify.analyze nl).Verify.findings
@@ -124,7 +133,7 @@ let test_fault_coverage () =
         (Fault.expected_codes fault <> [] || Fault.expected_rules fault <> []);
       List.iter
         (fun seed ->
-          let nl, place = mt_netlist ~seed () in
+          let nl, place = fixture_for fault ~seed in
           match Fault.inject ~seed nl fault with
           | None ->
             Alcotest.fail
@@ -138,9 +147,9 @@ let test_fault_coverage () =
               Alcotest.(check (list string))
                 (Printf.sprintf "%s: DRC blind (seed %d)" (Fault.name fault) seed)
                 []
-                (error_strings (Drc.check ~place ~expect_buffered_mte:false nl))
+                (error_strings (Drc.check ?place ~expect_buffered_mte:false nl))
             | expected ->
-              let codes = codes_of nl place in
+              let codes = codes_of ?place nl in
               Alcotest.(check bool)
                 (Printf.sprintf "%s DRC-detected (seed %d)" (Fault.name fault) seed)
                 true
@@ -161,8 +170,8 @@ let test_undetected_without_fault () =
      absent before injection. *)
   List.iter
     (fun fault ->
-      let nl, place = mt_netlist ~seed:7 () in
-      let codes = codes_of nl place in
+      let nl, place = fixture_for fault ~seed:7 in
+      let codes = codes_of ?place nl in
       let rules = rule_ids_of nl in
       Alcotest.(check bool)
         (Printf.sprintf "%s codes absent pre-injection" (Fault.name fault))

@@ -490,6 +490,109 @@ let test_parser_synthesizes_switches () =
   let sw = Option.get (Netlist.find_inst nl "s0") in
   Alcotest.(check (float 1e-9)) "width parsed" 7.3 (Netlist.cell nl sw).Cell.switch_width
 
+(* --- power domains & touched-net journal --- *)
+
+let test_domain_table () =
+  let nl = fresh "d" in
+  let ea = Netlist.add_input nl "mte_a" in
+  Netlist.add_domain nl ~name:"a" ~mte:(Some ea);
+  Netlist.add_domain nl ~name:"ao" ~mte:None;
+  Alcotest.(check (list (pair string (option int))))
+    "declaration order preserved"
+    [ ("a", Some ea); ("ao", None) ]
+    (Netlist.domains nl);
+  let x = Netlist.add_input nl "x" in
+  let z = Netlist.add_output nl "z" in
+  let g = Netlist.add_inst nl ~name:"g" (lv Func.Inv) [ ("A", x); ("Z", z) ] in
+  Alcotest.(check (option string)) "unassigned" None (Netlist.inst_domain nl g);
+  Netlist.set_inst_domain nl g (Some "a");
+  Alcotest.(check (option string)) "assigned" (Some "a") (Netlist.inst_domain nl g);
+  Alcotest.(check bool) "not isolation by default" false (Netlist.is_isolation nl g);
+  Netlist.set_isolation nl g true;
+  Alcotest.(check bool) "isolation marked" true (Netlist.is_isolation nl g)
+
+let test_touched_journal () =
+  let nl = fresh "j" in
+  let a = Netlist.add_input nl "a" in
+  let z = Netlist.add_output nl "z" in
+  (* creation touches are part of building; drain to a clean slate *)
+  ignore (Netlist.drain_touched nl);
+  Alcotest.(check (list int)) "empty after drain" [] (Netlist.drain_touched nl);
+  let g = Netlist.add_inst nl ~name:"g" (lv Func.Inv) [ ("A", a); ("Z", z) ] in
+  let touched = Netlist.drain_touched nl in
+  Alcotest.(check bool) "attach journals both pins" true
+    (List.mem a touched && List.mem z touched);
+  Alcotest.(check bool) "sorted and deduped" true
+    (List.sort_uniq compare touched = touched);
+  Alcotest.(check (list int)) "drain clears" [] (Netlist.drain_touched nl);
+  Netlist.replace_cell nl g (mt_cell Func.Inv);
+  Alcotest.(check bool) "replace_cell journals the conns" true
+    (List.mem z (Netlist.drain_touched nl));
+  Netlist.remove_inst nl g;
+  Alcotest.(check bool) "remove_inst journals the conns" true
+    (List.mem z (Netlist.drain_touched nl))
+
+let test_roundtrip_preserves_domains () =
+  let nl = fresh "dm" in
+  let ea = Netlist.add_input nl "mte_a" in
+  let x = Netlist.add_input nl "x" in
+  let z = Netlist.add_output nl "z" in
+  Netlist.add_domain nl ~name:"a" ~mte:(Some ea);
+  Netlist.add_domain nl ~name:"ao" ~mte:None;
+  let g = Netlist.add_inst nl ~name:"g" (lv Func.Inv) [ ("A", x); ("Z", z) ] in
+  Netlist.set_inst_domain nl g (Some "a");
+  let h = Netlist.add_inst nl ~name:"h" (Library.holder lib) [ ("MTE", ea); ("Z", z) ] in
+  Netlist.set_isolation nl h true;
+  let text = Writer.to_string nl in
+  let nl2 = Parser.of_string ~lib text in
+  Alcotest.(check (list (pair string bool)))
+    "domain table restored (enable presence)"
+    [ ("a", true); ("ao", false) ]
+    (List.map (fun (n, m) -> (n, m <> None)) (Netlist.domains nl2));
+  let g2 = Option.get (Netlist.find_inst nl2 "g") in
+  let h2 = Option.get (Netlist.find_inst nl2 "h") in
+  Alcotest.(check (option string)) "membership restored" (Some "a")
+    (Netlist.inst_domain nl2 g2);
+  Alcotest.(check bool) "isolation restored" true (Netlist.is_isolation nl2 h2);
+  Alcotest.(check string) "second dump identical" text (Writer.to_string nl2)
+
+let test_parser_rejects_bad_domain_refs () =
+  Alcotest.(check bool) "@domain with unknown net raises" true
+    (try
+       ignore
+         (Parser.of_string ~lib
+            "module t (a);\n  input a;\n  // @domain d nosuch\nendmodule\n");
+       false
+     with Parser.Parse_error _ -> true);
+  Alcotest.(check bool) "@member with unknown domain raises" true
+    (try
+       ignore
+         (Parser.of_string ~lib
+            "module t (a, z);\n  input a;\n  output z;\n  INV_LVT g (.A(a), .Z(z));\n  // @member g nosuch\nendmodule\n");
+       false
+     with Parser.Parse_error _ -> true)
+
+let test_multi_domain_roundtrip () =
+  (* the full multi-domain SoC survives a writer/parser trip with its
+     domain table, memberships, and isolation marks intact *)
+  let nl = Smt_circuits.Suite.multi_domain ~domains:3 ~name:"soc" lib in
+  let nl2 = Clone.copy nl in
+  Alcotest.(check (list (pair string bool)))
+    "domain table survives"
+    (List.map (fun (n, m) -> (n, m <> None)) (Netlist.domains nl))
+    (List.map (fun (n, m) -> (n, m <> None)) (Netlist.domains nl2));
+  Netlist.iter_insts nl (fun iid ->
+      let name = Netlist.inst_name nl iid in
+      let iid2 = Option.get (Netlist.find_inst nl2 name) in
+      Alcotest.(check (option string))
+        (name ^ " membership survives")
+        (Netlist.inst_domain nl iid)
+        (Netlist.inst_domain nl2 iid2);
+      Alcotest.(check bool)
+        (name ^ " isolation mark survives")
+        (Netlist.is_isolation nl iid)
+        (Netlist.is_isolation nl2 iid2))
+
 let () =
   Alcotest.run "smt_netlist"
     [
@@ -543,5 +646,16 @@ let () =
           Alcotest.test_case "clone equivalent" `Quick test_clone_is_equivalent;
           Alcotest.test_case "parser rejects garbage" `Quick test_parser_rejects_garbage;
           Alcotest.test_case "parser synthesizes switches" `Quick test_parser_synthesizes_switches;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "domain table" `Quick test_domain_table;
+          Alcotest.test_case "touched-net journal" `Quick test_touched_journal;
+          Alcotest.test_case "domains survive roundtrip" `Quick
+            test_roundtrip_preserves_domains;
+          Alcotest.test_case "bad domain refs rejected" `Quick
+            test_parser_rejects_bad_domain_refs;
+          Alcotest.test_case "multi-domain SoC roundtrip" `Quick
+            test_multi_domain_roundtrip;
         ] );
     ]

@@ -8,6 +8,7 @@ module Func = Smt_cell.Func
 module Vth = Smt_cell.Vth
 module Cell = Smt_cell.Cell
 module Generators = Smt_circuits.Generators
+module Suite = Smt_circuits.Suite
 module Flow = Smt_core.Flow
 module L = Smt_verify.Lattice
 module Rules = Smt_verify.Rules
@@ -136,7 +137,7 @@ let test_glob () =
   Alcotest.(check bool) "empty star run" true (m "a*b" "ab")
 
 let finding rule loc =
-  { Rules.rule; loc; message = "m"; witness = [] }
+  { Rules.rule; loc; mode = ""; message = "m"; witness = [] }
 
 let test_waiver_apply () =
   let w =
@@ -355,6 +356,313 @@ let test_flow_product_clean () =
   Alcotest.(check (list string)) "improved flow product lint-clean" []
     (List.map Rules.to_string r.Verify.findings)
 
+(* --- power domains: mode vectors, crossing rules, incremental update --- *)
+
+let starts p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let inst_pfx nl p =
+  let r = ref None in
+  Netlist.iter_insts nl (fun iid ->
+      if !r = None && starts p (Netlist.inst_name nl iid) then r := Some iid);
+  match !r with
+  | Some i -> i
+  | None -> Alcotest.fail ("no instance with prefix " ^ p)
+
+let net_pfx nl p =
+  let r = ref None in
+  Netlist.iter_nets nl (fun nid ->
+      if !r = None && starts p (Netlist.net_name nl nid) then r := Some nid);
+  match !r with
+  | Some n -> n
+  | None -> Alcotest.fail ("no net with prefix " ^ p)
+
+let domain_rules =
+  [
+    Rules.cross_domain_float; Rules.missing_isolation;
+    Rules.isolation_enable_off_domain; Rules.always_on_path;
+  ]
+
+(* Each pathology must be caught by its rule and by no other domain rule:
+   the four crossing rules partition the boundary failure space. *)
+let check_only_domain_rule r expected =
+  let ids = rule_ids r in
+  Alcotest.(check bool)
+    (expected.Rules.id ^ " fires")
+    true
+    (List.mem expected.Rules.id ids);
+  List.iter
+    (fun (other : Rules.rule) ->
+      if other.Rules.id <> expected.Rules.id then
+        Alcotest.(check bool) (other.Rules.id ^ " stays silent") false
+          (List.mem other.Rules.id ids))
+    domain_rules
+
+let test_multi_domain_clean () =
+  List.iter
+    (fun domains ->
+      let nl = Suite.multi_domain ~domains ~name:"mdc" lib in
+      let r = Verify.analyze nl in
+      Alcotest.(check (list string))
+        (Printf.sprintf "domains=%d lint-clean" domains)
+        []
+        (List.map Rules.to_string r.Verify.findings);
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d mode count" domains)
+        ((1 lsl domains) - 1)
+        (List.length r.Verify.modes))
+    [ 2; 3; 4 ]
+
+let test_legacy_single_mode () =
+  (* No declared domains: exactly the one unnamed legacy mode. *)
+  let nl = Generators.counter ~name:"leg" ~bits:4 lib in
+  let r = Verify.analyze nl in
+  Alcotest.(check (list string)) "single unnamed mode" [ "" ] r.Verify.modes
+
+let test_pathology_cross_domain_float () =
+  (* The clamp is present and owned by the right domain, but its enable is
+     computed by that domain's own gated logic: in standby the enable is
+     indeterminate, so the crossing may float into the awake reader.  Only
+     cross-domain-float can see this — the clamp exists (not
+     missing-isolation) and belongs to the right domain (not
+     isolation-enable). *)
+  let nl = Suite.multi_domain ~domains:2 ~name:"p1" lib in
+  let iso = inst_pfx nl "iso_a" in
+  let src = ref None in
+  Netlist.iter_nets nl (fun nid ->
+      if !src = None then
+        match Netlist.driver nl nid with
+        | Some p
+          when Netlist.inst_domain nl p.Netlist.inst = Some "a"
+               && Cell.is_mt (Netlist.cell nl p.Netlist.inst)
+               && not (starts "xn_" (Netlist.net_name nl nid)) ->
+          src := Some nid
+        | _ -> ());
+  Netlist.connect nl iso "MTE" (Option.get !src);
+  let r = Verify.analyze nl in
+  check_only_domain_rule r Rules.cross_domain_float;
+  let f =
+    List.find
+      (fun f -> f.Rules.rule.Rules.id = Rules.cross_domain_float.Rules.id)
+      r.Verify.findings
+  in
+  Alcotest.(check bool) "observed in a sleep mode" true (starts "sleep{" f.Rules.mode);
+  Alcotest.(check bool) "witness present" true (f.Rules.witness <> [])
+
+let test_pathology_missing_isolation () =
+  let nl = Suite.multi_domain ~domains:2 ~name:"p2" lib in
+  Netlist.remove_inst nl (inst_pfx nl "iso_a");
+  let r = Verify.analyze nl in
+  check_only_domain_rule r Rules.missing_isolation;
+  (* the deletion is invisible to the structural checker: the net's sinks
+     are all MT cells, so no structural holder rule applies *)
+  Alcotest.(check (list string)) "DRC blind to the deletion" []
+    (List.map Smt_check.Violation.to_string
+       (Smt_check.Violation.errors
+          (Smt_check.Drc.check ~expect_buffered_mte:false nl)))
+
+let test_pathology_isolation_enable () =
+  let nl = Suite.multi_domain ~domains:2 ~name:"p3" lib in
+  Netlist.connect nl (inst_pfx nl "iso_a") "MTE" (net_pfx nl "mte_b");
+  let r = Verify.analyze nl in
+  check_only_domain_rule r Rules.isolation_enable_off_domain;
+  (* the clamp misbehaves in both modes that park domain a; the report
+     carries it once, attributed to the shallowest mode *)
+  let fs =
+    List.filter
+      (fun f -> f.Rules.rule.Rules.id = Rules.isolation_enable_off_domain.Rules.id)
+      r.Verify.findings
+  in
+  (match fs with
+  | [ f ] -> Alcotest.(check string) "shallowest mode wins" "sleep{a}" f.Rules.mode
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)))
+
+let test_pathology_always_on_path () =
+  (* A properly clamped MT gate inside domain a that both reads from and
+     is read by always-on/foreign logic: no float escapes (the clamp
+     works), but the path itself dies whenever domain a sleeps. *)
+  let nl = Suite.multi_domain ~domains:2 ~name:"p4" lib in
+  let pi = Netlist.add_input nl "side" in
+  let anet = Netlist.fresh_net nl "anet" in
+  ignore
+    (Netlist.add_inst nl ~name:"ag" (lv Func.Buf) [ ("A", pi); ("Z", anet) ]);
+  let dff_q dom =
+    let r = ref None in
+    Netlist.iter_insts nl (fun iid ->
+        if !r = None
+           && (Netlist.cell nl iid).Cell.kind = Func.Dff
+           && Netlist.inst_domain nl iid = Some dom
+        then r := Netlist.output_net nl iid);
+    Option.get !r
+  in
+  let tnet = Netlist.fresh_net nl "tnet" in
+  let tg =
+    Netlist.add_inst nl ~name:"tg" (mt Func.Nand2)
+      [ ("A", anet); ("B", dff_q "a"); ("Z", tnet) ]
+  in
+  Netlist.set_inst_domain nl tg (Some "a");
+  Netlist.set_vgnd_switch nl tg (Some (inst_pfx nl "sw_a"));
+  ignore
+    (Netlist.add_inst nl ~name:"tg_hold" (Library.holder lib)
+       [ ("MTE", net_pfx nl "mte_a"); ("Z", tnet) ]);
+  let rnet = Netlist.fresh_net nl "rnet2" in
+  let rg2 =
+    Netlist.add_inst nl ~name:"rg2" (mt Func.Nand2)
+      [ ("A", tnet); ("B", dff_q "b"); ("Z", rnet) ]
+  in
+  Netlist.set_inst_domain nl rg2 (Some "b");
+  Netlist.set_vgnd_switch nl rg2 (Some (inst_pfx nl "sw_b"));
+  ignore
+    (Netlist.add_inst nl ~name:"rg2_hold" (Library.holder lib)
+       [ ("MTE", net_pfx nl "mte_b"); ("Z", rnet) ]);
+  let qn = Netlist.fresh_net nl "rq2" in
+  let dff =
+    Netlist.add_inst nl ~name:"rdff2" (lv Func.Dff)
+      [ ("D", rnet); ("CK", Option.get (Netlist.clock_net nl)); ("Q", qn) ]
+  in
+  Netlist.set_inst_domain nl dff (Some "b");
+  Netlist.mark_output nl qn;
+  let r = Verify.analyze nl in
+  check_only_domain_rule r Rules.always_on_path;
+  Alcotest.(check bool) "it is a warning, not an error" false
+    (Rules.has_errors r.Verify.findings)
+
+let test_jobs_determinism () =
+  let nl = Suite.multi_domain ~domains:3 ~name:"jd" lib in
+  Netlist.connect nl (inst_pfx nl "iso_a") "MTE" (net_pfx nl "mte_b");
+  let r1 = Verify.analyze ~jobs:1 nl in
+  let r4 = Verify.analyze ~jobs:4 nl in
+  Alcotest.(check (list string)) "findings byte-identical across job counts"
+    (List.map Rules.to_string r1.Verify.findings)
+    (List.map Rules.to_string r4.Verify.findings);
+  Alcotest.(check bool) "values identical" true (r1.Verify.values = r4.Verify.values);
+  Alcotest.(check (list string)) "mode list identical" r1.Verify.modes r4.Verify.modes;
+  let render r =
+    Sarif.render
+      [ { Sarif.wl_name = "jd/raw"; wl_findings = r.Verify.findings; wl_waived = [] } ]
+  in
+  Alcotest.(check string) "SARIF byte-identical" (render r1) (render r4)
+
+let test_incremental_faster_on_small_delta () =
+  let nl = Suite.multi_domain ~domains:3 ~name:"spd" lib in
+  let session, r0 = Verify.start nl in
+  Alcotest.(check (list string)) "baseline clean" []
+    (List.map Rules.to_string r0.Verify.findings);
+  (* single-cell ECO: swap one gate *)
+  let victim =
+    let r = ref None in
+    Netlist.iter_insts nl (fun iid ->
+        if !r = None && (Netlist.cell nl iid).Cell.kind = Func.Nand2
+           && Netlist.inst_domain nl iid = Some "b"
+        then r := Some iid);
+    Option.get !r
+  in
+  let c = Netlist.cell nl victim in
+  Netlist.replace_cell nl victim
+    (Library.variant ~drive:c.Cell.drive lib Func.Nor2 c.Cell.vth c.Cell.style);
+  let ru = Verify.update session in
+  let rf = Verify.analyze nl in
+  Alcotest.(check (list string)) "identical findings"
+    (List.map Rules.to_string rf.Verify.findings)
+    (List.map Rules.to_string ru.Verify.findings);
+  Alcotest.(check bool) "identical values" true (ru.Verify.values = rf.Verify.values);
+  Alcotest.(check bool)
+    (Printf.sprintf "re-seeded cone does less work (%d < %d / 2)" ru.Verify.transfers
+       rf.Verify.transfers)
+    true
+    (ru.Verify.transfers * 2 < rf.Verify.transfers)
+
+let test_incremental_domain_change_restarts () =
+  (* Declaring a new domain changes the mode vector: the session must
+     fall back to a transparent full restart and still agree with a
+     from-scratch analysis. *)
+  let nl = Suite.multi_domain ~domains:2 ~name:"dcr" lib in
+  let session, r0 = Verify.start nl in
+  Alcotest.(check int) "3 modes initially" 3 (List.length r0.Verify.modes);
+  let e = Netlist.add_input nl "mte_c" in
+  Netlist.add_domain nl ~name:"c" ~mte:(Some e);
+  let ru = Verify.update session in
+  let rf = Verify.analyze nl in
+  Alcotest.(check int) "7 modes after the new domain" 7 (List.length ru.Verify.modes);
+  Alcotest.(check (list string)) "restart agrees with from-scratch"
+    (List.map Rules.to_string rf.Verify.findings)
+    (List.map Rules.to_string ru.Verify.findings);
+  Alcotest.(check bool) "values agree" true (ru.Verify.values = rf.Verify.values)
+
+(* --- rule catalog golden snapshot --- *)
+
+let test_rule_catalog_golden () =
+  (* Stable ids and severities are the waiver/baseline contract: changing
+     any line here invalidates users' waiver files and SARIF baselines,
+     so the change must be deliberate. *)
+  let expected =
+    [
+      "error float-into-awake";
+      "warning crowbar-risk";
+      "warning useless-holder";
+      "error mte-polarity";
+      "error mte-undetermined";
+      "error retention-input-float";
+      "error cross-domain-float-into-awake";
+      "error missing-isolation-at-boundary";
+      "error isolation-enable-from-off-domain";
+      "warning always-on-path-through-off-domain";
+    ]
+  in
+  Alcotest.(check (list string)) "catalog ids and severities frozen" expected
+    (List.map
+       (fun (r : Rules.rule) -> Rules.severity_name r.Rules.severity ^ " " ^ r.Rules.id)
+       Rules.all);
+  List.iter
+    (fun (r : Rules.rule) ->
+      Alcotest.(check bool) (r.Rules.id ^ " has a summary") true
+        (String.length r.Rules.summary > 10);
+      Alcotest.(check bool) (r.Rules.id ^ " findable") true (Rules.find r.Rules.id = Some r))
+    Rules.all
+
+(* --- waiver expiry --- *)
+
+let test_waiver_expiry_parse () =
+  match Waiver.parse "useless-holder net:a* expires=2026-12-31\n" with
+  | Error e -> Alcotest.fail e
+  | Ok [ e ] ->
+    Alcotest.(check bool) "date parsed" true (e.Waiver.w_expires = Some (2026, 12, 31))
+  | Ok _ -> Alcotest.fail "expected one entry"
+
+let test_waiver_expiry_rejects_bad_date () =
+  List.iter
+    (fun src ->
+      match Waiver.parse src with
+      | Ok _ -> Alcotest.fail ("bad date accepted: " ^ src)
+      | Error _ -> ())
+    [
+      "useless-holder * expires=tomorrow\n";
+      "useless-holder * expires=2026-13-01\n";
+      "useless-holder * expires=26-1-1\n";
+      "useless-holder * frobnicate=1\n";
+    ]
+
+let test_waiver_expiry_apply () =
+  let w =
+    match Waiver.parse "useless-holder net:a* expires=2026-06-30\n* net:b\n" with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let f1 = finding Rules.useless_holder "net:a1" in
+  let f2 = finding Rules.useless_holder "net:b" in
+  (* on the expiry day the waiver still holds *)
+  let kept, waived = Waiver.apply ~today:(2026, 6, 30) w [ f1; f2 ] in
+  Alcotest.(check int) "valid through the expiry date" 0 (List.length kept);
+  Alcotest.(check int) "both waived" 2 (List.length waived);
+  (* one day later the dated entry stops suppressing *)
+  let kept, waived = Waiver.apply ~today:(2026, 7, 1) w [ f1; f2 ] in
+  Alcotest.(check (list string)) "expired entry no longer suppresses"
+    [ "net:a1" ]
+    (List.map (fun f -> f.Rules.loc) kept);
+  Alcotest.(check int) "undated entry still works" 1 (List.length waived);
+  (* without ~today nothing expires *)
+  let kept, _ = Waiver.apply w [ f1; f2 ] in
+  Alcotest.(check int) "no clock, no expiry" 0 (List.length kept)
+
 (* --- SARIF export --- *)
 
 let mem path doc =
@@ -372,7 +680,7 @@ let test_sarif_document () =
       wl_waived =
         [
           ( finding Rules.useless_holder "net:h",
-            { Waiver.w_rule = "useless-holder"; w_loc = "net:h"; w_line = 4 } );
+            { Waiver.w_rule = "useless-holder"; w_loc = "net:h"; w_expires = None; w_line = 4 } );
         ];
     }
   in
@@ -401,6 +709,25 @@ let test_sarif_document () =
   let sup = List.hd (nth_arr (mem [ "suppressions" ] r1)) in
   Alcotest.(check (option string)) "waiver recorded" (Some "external")
     (Option.bind (mem [ "kind" ] sup) J.to_str)
+
+let test_sarif_mode_location () =
+  let f = { (finding Rules.cross_domain_float "net:x") with Rules.mode = "sleep{a}" } in
+  let wl = { Sarif.wl_name = "c/raw"; wl_findings = [ f; finding Rules.useless_holder "net:y" ]; wl_waived = [] } in
+  let doc = J.parse_exn (Sarif.render [ wl ]) in
+  let results = nth_arr (mem [ "runs" ] doc |> fun rs -> mem [ "results" ] (List.hd (nth_arr rs))) in
+  let lls r = nth_arr (mem [ "logicalLocations" ] (List.hd (nth_arr (mem [ "locations" ] r)))) in
+  (* finding observed in a mode: element location plus a namespace
+     location naming the mode *)
+  let moded = lls (List.nth results 0) in
+  Alcotest.(check int) "two logical locations" 2 (List.length moded);
+  Alcotest.(check (option string)) "element first" (Some "c/raw/net:x")
+    (Option.bind (mem [ "fullyQualifiedName" ] (List.nth moded 0)) J.to_str);
+  Alcotest.(check (option string)) "mode namespace second" (Some "c/raw/mode/sleep{a}")
+    (Option.bind (mem [ "fullyQualifiedName" ] (List.nth moded 1)) J.to_str);
+  Alcotest.(check (option string)) "namespace kind" (Some "namespace")
+    (Option.bind (mem [ "kind" ] (List.nth moded 1)) J.to_str);
+  (* legacy finding: exactly one logical location, as before *)
+  Alcotest.(check int) "legacy finding unchanged" 1 (List.length (lls (List.nth results 1)))
 
 let test_sarif_deterministic () =
   let nl = Generators.multiplier ~name:"sd" ~bits:4 lib in
@@ -448,10 +775,41 @@ let () =
         [
           Alcotest.test_case "analyze deterministic" `Quick test_analyze_deterministic;
           Alcotest.test_case "flow product clean" `Quick test_flow_product_clean;
+          Alcotest.test_case "jobs 1 vs 4 byte-identical" `Quick test_jobs_determinism;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "multi-domain suite clean in all modes" `Quick
+            test_multi_domain_clean;
+          Alcotest.test_case "no domains, single legacy mode" `Quick test_legacy_single_mode;
+          Alcotest.test_case "pathology: cross-domain float" `Quick
+            test_pathology_cross_domain_float;
+          Alcotest.test_case "pathology: missing isolation" `Quick
+            test_pathology_missing_isolation;
+          Alcotest.test_case "pathology: isolation enable off-domain" `Quick
+            test_pathology_isolation_enable;
+          Alcotest.test_case "pathology: always-on path" `Quick
+            test_pathology_always_on_path;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "small delta re-verifies the cone only" `Quick
+            test_incremental_faster_on_small_delta;
+          Alcotest.test_case "domain change restarts transparently" `Quick
+            test_incremental_domain_change_restarts;
+        ] );
+      ( "catalog",
+        [ Alcotest.test_case "rule catalog golden" `Quick test_rule_catalog_golden ] );
+      ( "expiry",
+        [
+          Alcotest.test_case "expires= parsed" `Quick test_waiver_expiry_parse;
+          Alcotest.test_case "bad dates rejected" `Quick test_waiver_expiry_rejects_bad_date;
+          Alcotest.test_case "apply honours today" `Quick test_waiver_expiry_apply;
         ] );
       ( "sarif",
         [
           Alcotest.test_case "document shape" `Quick test_sarif_document;
+          Alcotest.test_case "mode logical location" `Quick test_sarif_mode_location;
           Alcotest.test_case "render deterministic" `Quick test_sarif_deterministic;
         ] );
     ]
